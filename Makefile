@@ -1,0 +1,46 @@
+# Development entry points. Everything is stdlib-only Go; no external
+# dependencies are ever downloaded.
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-short bench bench-paper fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# One testing.B per paper table/figure plus ablations (see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at the paper's scale.
+bench-paper:
+	$(GO) run ./cmd/fedml-bench -exp all -paper
+
+# Short fuzzing pass over the parsers.
+fuzz:
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/checkpoint
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/edgeiot
+	$(GO) run ./examples/sentiment
+	$(GO) run ./examples/robustness
+	$(GO) run ./examples/operations
+
+clean:
+	$(GO) clean ./...
+	rm -f fedml fedml-bench test_output.txt bench_output.txt

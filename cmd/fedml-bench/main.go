@@ -1,0 +1,70 @@
+// Command fedml-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fedml-bench -list                 # show available experiments
+//	fedml-bench -exp fig2a            # run one experiment (CI scale)
+//	fedml-bench -exp all -paper       # run everything at paper scale
+//
+// Each experiment prints the same rows/series the paper reports; the
+// per-experiment index lives in DESIGN.md §4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/edgeai/fedml/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fedml-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fedml-bench", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "all", "experiment id (see -list) or \"all\"")
+		paper = fs.Bool("paper", false, "run at the paper's scale instead of the fast CI scale")
+		list  = fs.Bool("list", false, "list available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Description)
+		}
+		return nil
+	}
+
+	scale := experiments.ScaleCI
+	if *paper {
+		scale = experiments.ScalePaper
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		out, err := experiments.Run(id, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s (scale=%s, %.1fs) ===\n%s\n", id, scale, time.Since(start).Seconds(), out)
+	}
+	return nil
+}

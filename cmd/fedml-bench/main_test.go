@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// silenceStdout redirects stdout to /dev/null for the duration of fn.
+func silenceStdout(t *testing.T, fn func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+	return fn()
+}
+
+func TestListFlag(t *testing.T) {
+	if err := silenceStdout(t, func() error { return run([]string{"-list"}) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	err := silenceStdout(t, func() error { return run([]string{"-exp", "fig99"}) })
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown experiment: %v", err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := silenceStdout(t, func() error { return run([]string{"-exp", "table1"}) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	// flag.ContinueOnError surfaces parse failures as errors, not exits.
+	err := silenceStdout(t, func() error { return run([]string{"-definitely-not-a-flag"}) })
+	if err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,386 @@
+// Command fedml trains a federated meta-model and fast-adapts it at target
+// edge nodes. It has four modes:
+//
+//	fedml train     — single-process simulation over in-memory links
+//	fedml platform  — the aggregation platform side of a real TCP deployment
+//	fedml node      — one source edge node joining a TCP platform
+//	fedml adapt     — a target device: load a checkpoint (train -save) and
+//	                  fast-adapt it on one target node's K local samples
+//
+// The TCP modes run the same Algorithm 1/2 code as train, but across
+// processes (or machines): start the platform first, then one node process
+// per source node. All sides derive the same federation from -dataset/-seed,
+// so no data is shipped — only model parameters cross the network, as in the
+// paper's architecture.
+//
+// Examples:
+//
+//	fedml train -dataset synthetic -t 500 -t0 10
+//	fedml train -dataset mnist -robust -lambda 0.01
+//
+//	fedml platform -addr :7001 -dataset synthetic -nodes 8
+//	for i in $(seq 0 7); do fedml node -addr localhost:7001 -dataset synthetic -id $i & done
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"github.com/edgeai/fedml/internal/checkpoint"
+	"github.com/edgeai/fedml/internal/core"
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/eval"
+	"github.com/edgeai/fedml/internal/meta"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fedml:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: fedml <train|platform|node> [flags]")
+	}
+	switch args[0] {
+	case "train":
+		return runTrain(args[1:])
+	case "platform":
+		return runPlatform(args[1:])
+	case "node":
+		return runNode(args[1:])
+	case "adapt":
+		return runAdapt(args[1:])
+	default:
+		return fmt.Errorf("unknown mode %q (want train, platform, node or adapt)", args[0])
+	}
+}
+
+// commonFlags holds the flags shared by all modes.
+type commonFlags struct {
+	dataset string
+	nodes   int
+	k       int
+	seed    uint64
+	alpha   float64
+	beta    float64
+	t       int
+	t0      int
+	robust  bool
+	lambda  float64
+	csvPath string
+	csvDim  int
+}
+
+func addCommonFlags(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.StringVar(&c.dataset, "dataset", "synthetic", "workload: synthetic, mnist, sent140 or csv")
+	fs.IntVar(&c.nodes, "nodes", 20, "number of edge nodes in the federation")
+	fs.IntVar(&c.k, "k", 5, "few-shot training-set size K per node")
+	fs.Uint64Var(&c.seed, "seed", 1, "random seed (all sides must agree)")
+	fs.Float64Var(&c.alpha, "alpha", 0.05, "inner (adaptation) learning rate α")
+	fs.Float64Var(&c.beta, "beta", 0.01, "meta learning rate β")
+	fs.IntVar(&c.t, "t", 200, "total local iterations T")
+	fs.IntVar(&c.t0, "t0", 5, "local iterations per aggregation round T0")
+	fs.BoolVar(&c.robust, "robust", false, "use Robust FedML (Algorithm 2)")
+	fs.Float64Var(&c.lambda, "lambda", 0.01, "DRO penalty λ (with -robust)")
+	fs.StringVar(&c.csvPath, "csv", "", "with -dataset csv: path to a CSV of feature columns + integer label")
+	fs.IntVar(&c.csvDim, "csv-dim", 0, "with -dataset csv: number of feature columns")
+	return c
+}
+
+// buildWorkload constructs the federation and model for the CLI flags.
+func (c *commonFlags) buildWorkload() (*data.Federation, nn.Model, error) {
+	switch c.dataset {
+	case "synthetic":
+		cfg := data.DefaultSyntheticConfig(0.5, 0.5)
+		cfg.Nodes = c.nodes
+		cfg.K = c.k
+		cfg.Seed = c.seed
+		fed, err := data.GenerateSynthetic(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fed, &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses, L2: 0.01}, nil
+	case "mnist":
+		cfg := data.DefaultMNISTConfig()
+		cfg.Nodes = c.nodes
+		cfg.K = c.k
+		cfg.Seed = c.seed
+		fed, err := data.GenerateMNIST(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fed, &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses, L2: 0.01}, nil
+	case "sent140":
+		cfg := data.DefaultSent140Config()
+		cfg.Nodes = c.nodes
+		cfg.K = c.k
+		cfg.Seed = c.seed
+		cfg.EmbedDim = 24
+		cfg.SeqLen = 15
+		fed, err := data.GenerateSent140(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := nn.NewMLP(nn.MLPConfig{Dims: []int{fed.Dim, 64, 32, 16, fed.NumClasses}, BatchNorm: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		return fed, m, nil
+	case "csv":
+		if c.csvPath == "" || c.csvDim <= 0 {
+			return nil, nil, fmt.Errorf("-dataset csv requires -csv <path> and -csv-dim <n>")
+		}
+		samples, classes, err := data.LoadCSVFile(c.csvPath, c.csvDim)
+		if err != nil {
+			return nil, nil, err
+		}
+		fed, err := data.BuildFederation("csv:"+c.csvPath, samples, classes, data.PartitionConfig{
+			Nodes:          c.nodes,
+			ClassesPerNode: 2, // the paper's label-skew level
+			K:              c.k,
+			SourceFraction: 0.8,
+			Seed:           c.seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return fed, &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses, L2: 0.01}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q (want synthetic, mnist, sent140 or csv)", c.dataset)
+	}
+}
+
+func (c *commonFlags) trainConfig(track func(round, iter int, theta tensor.Vec)) core.Config {
+	cfg := core.Config{
+		Alpha: c.alpha, Beta: c.beta, T: c.t, T0: c.t0, Seed: c.seed,
+		OnRound: track,
+	}
+	if c.robust {
+		cfg.Robust = &core.RobustConfig{
+			Lambda: c.lambda, Nu: 1, Ta: 10, N0: maxInt(1, c.t*2/5/c.t0), R: 2,
+			ClampMin: 0, ClampMax: 1,
+		}
+	}
+	return cfg
+}
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("fedml train", flag.ContinueOnError)
+	c := addCommonFlags(fs)
+	adaptSteps := fs.Int("adapt-steps", 5, "fast-adaptation gradient steps at target nodes")
+	savePath := fs.String("save", "", "write the trained meta-model checkpoint to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fed, m, err := c.buildWorkload()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("federation %s: %d source nodes, %d target nodes, dim %d, %d classes\n",
+		fed.Name, len(fed.Sources), len(fed.Targets), fed.Dim, fed.NumClasses)
+
+	cfg := c.trainConfig(func(round, iter int, theta tensor.Vec) {
+		if round%5 == 0 || iter == c.t {
+			fmt.Printf("round %4d (iter %5d): G(θ) = %.4f\n",
+				round, iter, eval.GlobalMetaObjective(m, fed, c.alpha, theta))
+		}
+	})
+	res, err := core.Train(m, fed, nil, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training done: %d rounds, %d messages, %.1f KiB transferred\n",
+		res.Comm.Rounds, res.Comm.Messages, float64(res.Comm.Bytes)/1024)
+
+	curve := eval.AverageAdaptationCurve(m, res.Theta, fed.Targets, c.alpha, *adaptSteps)
+	fmt.Println("fast adaptation at held-out target nodes:")
+	for _, p := range curve {
+		fmt.Printf("  step %2d: loss %.4f  accuracy %.3f\n", p.Step, p.Loss, p.Accuracy)
+	}
+
+	if *savePath != "" {
+		desc := fmt.Sprintf("FedML %s nodes=%d T=%d T0=%d", c.dataset, c.nodes, c.t, c.t0)
+		ck, err := checkpoint.FromModel(m, res.Theta, c.alpha, desc)
+		if err != nil {
+			return err
+		}
+		if err := checkpoint.SaveFile(*savePath, ck); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s\n", *savePath)
+	}
+	return nil
+}
+
+// runAdapt plays the target edge device: load a meta-model checkpoint,
+// adapt it with a few gradient steps on one target node's K-sample training
+// set, and report test performance — real-time edge intelligence from a
+// file.
+func runAdapt(args []string) error {
+	fs := flag.NewFlagSet("fedml adapt", flag.ContinueOnError)
+	c := addCommonFlags(fs)
+	ckPath := fs.String("checkpoint", "", "checkpoint produced by fedml train -save (required)")
+	target := fs.Int("target", 0, "index of the target node to adapt for")
+	steps := fs.Int("steps", 1, "adaptation gradient steps")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ckPath == "" {
+		return fmt.Errorf("adapt: -checkpoint is required")
+	}
+	ck, err := checkpoint.LoadFile(*ckPath)
+	if err != nil {
+		return err
+	}
+	m, err := ck.Model()
+	if err != nil {
+		return err
+	}
+	fed, _, err := c.buildWorkload()
+	if err != nil {
+		return err
+	}
+	if fed.Dim*fed.NumClasses == 0 || m.NumParams() == 0 {
+		return fmt.Errorf("adapt: degenerate workload or model")
+	}
+	if *target < 0 || *target >= len(fed.Targets) {
+		return fmt.Errorf("adapt: target %d out of range [0, %d)", *target, len(fed.Targets))
+	}
+	node := fed.Targets[*target]
+	if len(node.Train[0].X) != ckModelInputDim(m) {
+		return fmt.Errorf("adapt: checkpoint expects %d-dim inputs, dataset provides %d",
+			ckModelInputDim(m), len(node.Train[0].X))
+	}
+
+	theta := tensor.Vec(ck.Params)
+	fmt.Printf("checkpoint: %s (α=%g)\n", ck.Description, ck.Alpha)
+	fmt.Printf("before adaptation: loss %.4f accuracy %.3f\n",
+		m.Loss(theta, node.Test), nn.Accuracy(m, theta, node.Test))
+	phi := meta.Adapt(m, theta, node.Train, ck.Alpha, *steps)
+	fmt.Printf("after %d step(s):   loss %.4f accuracy %.3f\n",
+		*steps, m.Loss(phi, node.Test), nn.Accuracy(m, phi, node.Test))
+	return nil
+}
+
+// ckModelInputDim reports the input dimension of a reconstructed model.
+func ckModelInputDim(m nn.Model) int {
+	switch mt := m.(type) {
+	case *nn.SoftmaxRegression:
+		return mt.In
+	case *nn.MLP:
+		return mt.InputDim()
+	default:
+		return -1
+	}
+}
+
+func runPlatform(args []string) error {
+	fs := flag.NewFlagSet("fedml platform", flag.ContinueOnError)
+	c := addCommonFlags(fs)
+	addr := fs.String("addr", ":7001", "listen address for node connections")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fed, m, err := c.buildWorkload()
+	if err != nil {
+		return err
+	}
+	n := len(fed.Sources)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	defer ln.Close()
+	fmt.Printf("platform listening on %s, waiting for %d nodes...\n", ln.Addr(), n)
+
+	links, err := transport.Accept(ln, n)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, l := range links {
+			_ = l.Close()
+		}
+	}()
+	fmt.Println("all nodes connected; starting federated meta-training")
+
+	// TCP accept order is arbitrary, so the platform cannot match links to
+	// per-node data sizes; aggregate uniformly (nodes identify themselves in
+	// their updates, but uniform weights keep the protocol stateless).
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	theta0 := m.InitParams(rng.New(c.seed))
+	cfg := c.trainConfig(func(round, iter int, theta tensor.Vec) {
+		fmt.Printf("round %4d (iter %5d): G(θ) = %.4f\n",
+			round, iter, eval.GlobalMetaObjective(m, fed, c.alpha, theta))
+	})
+	theta, stats, err := core.RunPlatform(links, weights, theta0, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done: %d rounds, %d messages, %.1f KiB\n", stats.Rounds, stats.Messages, float64(stats.Bytes)/1024)
+
+	curve := eval.AverageAdaptationCurve(m, theta, fed.Targets, c.alpha, 5)
+	fmt.Println("fast adaptation at held-out target nodes:")
+	for _, p := range curve {
+		fmt.Printf("  step %2d: loss %.4f  accuracy %.3f\n", p.Step, p.Loss, p.Accuracy)
+	}
+	return nil
+}
+
+func runNode(args []string) error {
+	fs := flag.NewFlagSet("fedml node", flag.ContinueOnError)
+	c := addCommonFlags(fs)
+	addr := fs.String("addr", "localhost:7001", "platform address")
+	id := fs.Int("id", 0, "this node's index among the federation's source nodes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fed, m, err := c.buildWorkload()
+	if err != nil {
+		return err
+	}
+	if *id < 0 || *id >= len(fed.Sources) {
+		return fmt.Errorf("node id %d out of range [0, %d)", *id, len(fed.Sources))
+	}
+	link, err := transport.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer link.Close()
+	fmt.Printf("node %d connected to %s (%d local samples)\n", *id, *addr, fed.Sources[*id].Size())
+
+	err = core.RunNode(link, core.NodeConfig{
+		ID:     *id,
+		Model:  m,
+		Data:   fed.Sources[*id],
+		Shared: c.trainConfig(nil),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %d finished\n", *id)
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

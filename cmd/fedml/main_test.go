@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresMode(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no-args run succeeded")
+	}
+	if err := run([]string{"bogus"}); err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Errorf("bogus mode: %v", err)
+	}
+}
+
+func TestTrainAndAdaptEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "model.json")
+
+	// Silence the CLI's stdout chatter during tests.
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+
+	err = run([]string{"train", "-dataset", "synthetic", "-nodes", "8", "-t", "20", "-t0", "5", "-save", ckPath})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if _, err := os.Stat(ckPath); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	err = run([]string{"adapt", "-dataset", "synthetic", "-nodes", "8", "-checkpoint", ckPath, "-target", "0", "-steps", "2"})
+	if err != nil {
+		t.Fatalf("adapt: %v", err)
+	}
+}
+
+func TestTrainRejectsBadDataset(t *testing.T) {
+	if err := run([]string{"train", "-dataset", "imagenet", "-t", "10", "-t0", "5"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestAdaptRequiresCheckpoint(t *testing.T) {
+	if err := run([]string{"adapt"}); err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Errorf("missing -checkpoint: %v", err)
+	}
+	if err := run([]string{"adapt", "-checkpoint", "/nonexistent/model.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestAdaptRejectsOutOfRangeTarget(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "model.json")
+	old := os.Stdout
+	devNull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devNull
+	err := run([]string{"train", "-dataset", "synthetic", "-nodes", "8", "-t", "10", "-t0", "5", "-save", ckPath})
+	os.Stdout = old
+	devNull.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"adapt", "-checkpoint", ckPath, "-nodes", "8", "-target", "99"}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}
+
+func TestAdaptDetectsDimensionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "model.json")
+	old := os.Stdout
+	devNull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devNull
+	err := run([]string{"train", "-dataset", "synthetic", "-nodes", "8", "-t", "10", "-t0", "5", "-save", ckPath})
+	os.Stdout = old
+	devNull.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A synthetic checkpoint (60-dim) against the MNIST workload (784-dim).
+	if err := run([]string{"adapt", "-checkpoint", ckPath, "-dataset", "mnist", "-nodes", "8", "-target", "0"}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestCommonFlagWorkloads(t *testing.T) {
+	for _, dataset := range []string{"synthetic", "mnist", "sent140"} {
+		c := &commonFlags{dataset: dataset, nodes: 8, k: 5, seed: 1}
+		fed, m, err := c.buildWorkload()
+		if err != nil {
+			t.Fatalf("%s: %v", dataset, err)
+		}
+		if fed == nil || m == nil {
+			t.Fatalf("%s: nil workload", dataset)
+		}
+		if m.NumParams() <= 0 {
+			t.Fatalf("%s: empty model", dataset)
+		}
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	if maxInt(2, 3) != 3 || maxInt(5, 1) != 5 {
+		t.Error("maxInt broken")
+	}
+}
+
+func TestTrainFromCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "d.csv")
+	var b strings.Builder
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 40; i++ {
+			fmt.Fprintf(&b, "%d,%d,0.5,%d\n", c, i%7, c)
+		}
+	}
+	if err := os.WriteFile(csvPath, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	devNull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devNull
+	err := run([]string{"train", "-dataset", "csv", "-csv", csvPath, "-csv-dim", "3",
+		"-nodes", "6", "-k", "3", "-t", "10", "-t0", "5"})
+	os.Stdout = old
+	devNull.Close()
+	if err != nil {
+		t.Fatalf("csv train: %v", err)
+	}
+	// Missing flags must error.
+	if err := run([]string{"train", "-dataset", "csv", "-t", "10", "-t0", "5"}); err == nil {
+		t.Error("csv without path accepted")
+	}
+}

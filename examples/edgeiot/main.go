@@ -1,0 +1,99 @@
+// Edge-IoT scenario: a fleet of sensor gateways (edge nodes) with
+// heterogeneous local sensing tasks federates to learn a meta-initialization
+// under a COMMUNICATION BUDGET. The example sweeps the local-update count T0
+// — the knob Theorem 2 of the paper analyzes — and shows the trade-off the
+// platform faces: fewer aggregations (large T0) cut network traffic but
+// leave a larger convergence error at fixed T. It then overlays the
+// Theorem 2 prediction computed by the theory package on a toy quadratic
+// federation with known constants.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/edgeai/fedml/internal/core"
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/eval"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/theory"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "edgeiot:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Sensor gateways: 24 nodes, each classifying 60-dimensional sensor
+	// feature vectors into 10 activity classes, with node-specific sensor
+	// placement (the Synthetic(0.5, 0.5) heterogeneity).
+	cfg := data.DefaultSyntheticConfig(0.5, 0.5)
+	cfg.Nodes = 24
+	cfg.Seed = 13
+	fed, err := data.GenerateSynthetic(cfg)
+	if err != nil {
+		return err
+	}
+	model := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses, L2: 0.01}
+
+	fmt.Println("communication/computation trade-off at fixed T = 200 local iterations:")
+	fmt.Printf("%-6s %-10s %-12s %-14s\n", "T0", "rounds", "KiB sent", "final G(θ)")
+	for _, t0 := range []int{1, 5, 10, 20} {
+		var final float64
+		trainCfg := core.Config{
+			Alpha: 0.05, Beta: 0.01, T: 200, T0: t0, Seed: 13,
+			OnRound: func(_, _ int, theta tensor.Vec) {
+				final = eval.GlobalMetaObjective(model, fed, 0.05, theta)
+			},
+		}
+		res, err := core.Train(model, fed, nil, trainCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6d %-10d %-12.0f %-14.4f\n",
+			t0, res.Comm.Rounds, float64(res.Comm.Bytes)/1024, final)
+	}
+
+	// Theorem 2 on a quadratic sensor-calibration federation where every
+	// constant is exact: each gateway's loss is ½‖θ − c_i‖² (calibrating a
+	// shared parameter toward its local optimum c_i).
+	fmt.Println("\nTheorem 2 bound on a quadratic federation (exact constants):")
+	r := rng.New(3)
+	const dim, nodes = 6, 8
+	centers := make([][]float64, nodes)
+	var delta float64
+	cbar := make([]float64, dim)
+	for i := range centers {
+		c := make([]float64, dim)
+		for j := range c {
+			c[j] = r.Norm()
+			cbar[j] += c[j] / nodes
+		}
+		centers[i] = c
+	}
+	for _, c := range centers {
+		var d float64
+		for j := range c {
+			d += (c[j] - cbar[j]) * (c[j] - cbar[j])
+		}
+		delta += math.Sqrt(d) / nodes
+	}
+	consts := theory.Constants{Mu: 1, H: 1, B: 6, Delta: delta}
+	fmt.Printf("%-6s %-12s %-12s %-12s\n", "T0", "ξ", "h(T0)", "error floor")
+	for _, t0 := range []int{1, 5, 10, 20} {
+		b, err := theory.ConvergenceBound(consts,
+			theory.Schedule{Alpha: 0.2, Beta: 0.1, T: 200, T0: t0}, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6d %-12.4f %-12.4g %-12.4g\n", t0, b.Xi, b.HT0, b.Floor)
+	}
+	fmt.Println("(larger T0 ⇒ fewer aggregations but a larger residual floor — Theorem 2)")
+	return nil
+}

@@ -1,0 +1,146 @@
+// Operations scenario: running a federation like a production service. The
+// platform and nodes talk over real TCP on loopback; one node dies
+// mid-training; the platform's fault-tolerant rounds (deadline-bounded
+// async I/O) drop it and keep going; an adaptive-T0 controller retunes the
+// communication/computation balance from the measured update dispersion;
+// and the final meta-model is written to a checkpoint a target device could
+// load with `fedml adapt`.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/edgeai/fedml/internal/checkpoint"
+	"github.com/edgeai/fedml/internal/core"
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/eval"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "operations:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := data.DefaultSyntheticConfig(0.5, 0.5)
+	cfg.Nodes = 12
+	cfg.Seed = 31
+	fed, err := data.GenerateSynthetic(cfg)
+	if err != nil {
+		return err
+	}
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses, L2: 0.01}
+
+	trainCfg := core.Config{
+		Alpha: 0.05, Beta: 0.01, T: 150, T0: 5, Seed: 31,
+		// Fault tolerance: a node that misses the deadline is dropped.
+		RoundTimeout: 2 * time.Second,
+		MinNodes:     3,
+		// Adaptive T0: retune local steps from the measured dispersion.
+		T0Controller: core.DispersionController(1, 25, 0.35),
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  [platform] "+format+"\n", args...)
+		},
+		OnRound: func(round, iter int, theta tensor.Vec) {
+			if round%5 == 0 {
+				fmt.Printf("  round %3d (iter %3d)\n", round, iter)
+			}
+		},
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("platform listening on %s\n", ln.Addr())
+
+	// Launch the edge nodes as TCP clients. Node 3 is flaky: it serves two
+	// rounds and then silently dies (e.g. battery ran out).
+	nodeDone := make(chan struct{}, len(fed.Sources))
+	for i, nd := range fed.Sources {
+		go func(i int, nd *data.NodeDataset) {
+			defer func() { nodeDone <- struct{}{} }()
+			link, err := transport.Dial(ln.Addr().String())
+			if err != nil {
+				return
+			}
+			defer link.Close()
+			if i == 3 {
+				runFlakyNode(link, i)
+				return
+			}
+			_ = core.RunNode(link, core.NodeConfig{ID: i, Model: m, Data: nd, Shared: trainCfg})
+		}(i, nd)
+	}
+
+	links, err := transport.Accept(ln, len(fed.Sources))
+	if err != nil {
+		return err
+	}
+	// Fault-tolerant mode hands link ownership to the platform.
+	weights := make([]float64, len(links))
+	for i := range weights {
+		weights[i] = 1
+	}
+	theta0 := m.InitParams(rng.New(trainCfg.Seed))
+	theta, stats, err := core.RunPlatform(links, weights, theta0, trainCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training survived: %d rounds, %d node(s) dropped, %.0f KiB exchanged\n",
+		stats.Rounds, stats.Dropped, float64(stats.Bytes)/1024)
+
+	curve := eval.AverageAdaptationCurve(m, theta, fed.Targets, trainCfg.Alpha, 3)
+	fmt.Printf("target adaptation: %.3f -> %.3f accuracy after 3 steps\n",
+		curve[0].Accuracy, curve[3].Accuracy)
+
+	// Persist the meta-model for target devices.
+	path := filepath.Join(os.TempDir(), "fedml-operations-checkpoint.json")
+	ck, err := checkpoint.FromModel(m, theta, trainCfg.Alpha, "operations demo")
+	if err != nil {
+		return err
+	}
+	if err := checkpoint.SaveFile(path, ck); err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint written to %s\n", path)
+
+	for range fed.Sources {
+		<-nodeDone
+	}
+	return nil
+}
+
+// runFlakyNode answers two rounds of the protocol and then goes silent,
+// simulating a device failure mid-federation.
+func runFlakyNode(link transport.Link, id int) {
+	for round := 0; round < 2; round++ {
+		msg, err := link.Recv()
+		if err != nil || msg.Kind != transport.KindParams {
+			return
+		}
+		// Answer honestly for two rounds (echoing the received parameters
+		// is enough for the demo; a real node would compute meta-updates).
+		_ = link.Send(transport.Msg{
+			Kind:   transport.KindUpdate,
+			Round:  msg.Round,
+			NodeID: id,
+			Params: msg.Params,
+		})
+	}
+	fmt.Printf("  [node %d] going dark\n", id)
+	// Keep the connection open but never answer again: the platform's
+	// round deadline must handle this.
+	time.Sleep(8 * time.Second)
+}

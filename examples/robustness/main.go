@@ -1,0 +1,73 @@
+// Robustness scenario: edge cameras classify digits but an adversary can
+// perturb the pixels they see. The example trains plain FedML and the
+// paper's Robust FedML (Algorithm 2: distributionally robust optimization
+// over a Wasserstein ball, realized by gradient-ascent adversarial data
+// generation during meta-training) and compares how the adapted models
+// survive FGSM attacks of growing strength at a target camera.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/edgeai/fedml/internal/core"
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/eval"
+	"github.com/edgeai/fedml/internal/nn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "robustness:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := data.DefaultMNISTConfig()
+	cfg.Nodes = 20
+	cfg.MeanSamples = 24
+	cfg.Seed = 5
+	fed, err := data.GenerateMNIST(cfg)
+	if err != nil {
+		return err
+	}
+	model := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses, L2: 0.01}
+	fmt.Printf("MNIST-like federation: %d cameras, 2 digits each\n", len(fed.Sources)+len(fed.Targets))
+
+	base := core.Config{Alpha: 0.01, Beta: 0.01, T: 300, T0: 5, Seed: 5}
+
+	fmt.Println("training plain FedML...")
+	plain, err := core.Train(model, fed, nil, base)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("training Robust FedML (λ=0.01, Ta=10 ascent steps, R=2 generations)...")
+	robustCfg := base
+	robustCfg.Robust = &core.RobustConfig{
+		Lambda: 0.01, Nu: 1, Ta: 10, N0: 24, R: 2,
+		ClampMin: 0, ClampMax: 1, // pixel domain
+	}
+	robust, err := core.Train(model, fed, nil, robustCfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nadapted accuracy at target cameras under FGSM attacks:")
+	fmt.Printf("%-8s %-12s %-12s %-12s\n", "ξ", "FedML", "RobustFedML", "advantage")
+	for _, xi := range []float64{0, 0.005, 0.01, 0.02, 0.05} {
+		pc, err := eval.AverageAdversarialAdaptationCurve(model, plain.Theta, fed.Targets, base.Alpha, 5, xi, 0, 1)
+		if err != nil {
+			return err
+		}
+		rc, err := eval.AverageAdversarialAdaptationCurve(model, robust.Theta, fed.Targets, base.Alpha, 5, xi, 0, 1)
+		if err != nil {
+			return err
+		}
+		p, r := pc[5].Accuracy, rc[5].Accuracy
+		fmt.Printf("%-8g %-12.3f %-12.3f %+.3f\n", xi, p, r, r-p)
+	}
+	fmt.Println("(ξ=0 is clean data; the robust model trades a little clean accuracy for attack resistance)")
+	return nil
+}

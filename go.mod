@@ -1,0 +1,3 @@
+module github.com/edgeai/fedml
+
+go 1.22

@@ -1,0 +1,157 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+func TestRoundTripSoftmax(t *testing.T) {
+	m := &nn.SoftmaxRegression{In: 6, Classes: 3, L2: 0.01}
+	params := m.InitParams(rng.New(1))
+	c, err := FromModel(m, params, 0.05, "test model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Alpha != 0.05 || got.Description != "test model" {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	m2, err := got.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, ok := m2.(*nn.SoftmaxRegression)
+	if !ok || sm.In != 6 || sm.Classes != 3 || sm.L2 != 0.01 {
+		t.Fatalf("reconstructed model wrong: %#v", m2)
+	}
+	if tensor.Vec(got.Params).Dist(params) != 0 {
+		t.Error("parameters changed in round trip")
+	}
+}
+
+func TestRoundTripMLP(t *testing.T) {
+	m, err := nn.NewMLP(nn.MLPConfig{Dims: []int{4, 8, 2}, BatchNorm: true, L2: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := m.InitParams(rng.New(2))
+	c, err := FromModel(m, params, 0.01, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := got.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlp, ok := m2.(*nn.MLP)
+	if !ok {
+		t.Fatalf("reconstructed %T", m2)
+	}
+	dims := mlp.Dims()
+	if len(dims) != 3 || dims[1] != 8 || !mlp.BatchNorm() || mlp.L2() != 0.1 {
+		t.Errorf("MLP architecture lost: dims=%v bn=%v l2=%v", dims, mlp.BatchNorm(), mlp.L2())
+	}
+	// The restored model must produce identical predictions.
+	batch := []data.Sample{{X: tensor.Vec{1, -0.5, 0.25, 2}, Y: 0}}
+	p1 := m.PredictBatch(params, batch)
+	p2 := mlp.PredictBatch(got.Params, batch)
+	if p1[0] != p2[0] {
+		t.Error("restored model predicts differently")
+	}
+}
+
+func TestFromModelRejections(t *testing.T) {
+	m := &nn.SoftmaxRegression{In: 2, Classes: 2}
+	if _, err := FromModel(m, tensor.NewVec(1), 0.1, ""); err == nil {
+		t.Error("wrong param count accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	m := &nn.SoftmaxRegression{In: 2, Classes: 2}
+	params := m.InitParams(rng.New(1))
+	mk := func(mutate func(*Checkpoint)) *Checkpoint {
+		c, err := FromModel(m, params, 0.1, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(c)
+		return c
+	}
+	cases := map[string]*Checkpoint{
+		"bad version":  mk(func(c *Checkpoint) { c.Version = 99 }),
+		"bad alpha":    mk(func(c *Checkpoint) { c.Alpha = 0 }),
+		"bad kind":     mk(func(c *Checkpoint) { c.ModelKind = "quantum" }),
+		"short params": mk(func(c *Checkpoint) { c.Params = c.Params[:2] }),
+		"nan params":   mk(func(c *Checkpoint) { c.Params[0] = math.NaN() }),
+		"bad shape":    mk(func(c *Checkpoint) { c.SoftmaxClasses = 0 }),
+	}
+	for name, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Checkpoint{Version: 99}); err == nil {
+		t.Error("invalid checkpoint written")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version":1,"model_kind":"softmax-regression"}`)); err == nil {
+		t.Error("incomplete checkpoint accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+
+	m := &nn.SoftmaxRegression{In: 3, Classes: 2}
+	c, err := FromModel(m, m.InitParams(rng.New(3)), 0.05, "file test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Description != "file test" {
+		t.Error("file round trip lost metadata")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package checkpoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/rng"
+)
+
+// FuzzRead ensures arbitrary input never panics the checkpoint parser and
+// that every accepted checkpoint re-validates and round-trips.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid checkpoint and a few near-misses.
+	m := &nn.SoftmaxRegression{In: 3, Classes: 2}
+	c, err := FromModel(m, m.InitParams(rng.New(1)), 0.05, "seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1}`)
+	f.Add(`{"version":1,"model_kind":"softmax-regression","softmax_in":2,"softmax_classes":2,"alpha":0.1,"params":[0,0,0,0,0,0]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"version":1,"model_kind":"mlp","mlp_dims":[2,-3,2],"alpha":0.1,"params":[]}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		ck, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Anything accepted must be internally consistent.
+		if err := ck.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid checkpoint: %v", err)
+		}
+		model, err := ck.Model()
+		if err != nil {
+			t.Fatalf("accepted checkpoint has no model: %v", err)
+		}
+		if model.NumParams() != len(ck.Params) {
+			t.Fatal("accepted checkpoint param-count mismatch")
+		}
+		// Round trip.
+		var out bytes.Buffer
+		if err := Write(&out, ck); err != nil {
+			t.Fatalf("accepted checkpoint failed to re-encode: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint rejected: %v", err)
+		}
+		if again.ModelKind != ck.ModelKind || len(again.Params) != len(ck.Params) {
+			t.Fatal("round trip changed the checkpoint")
+		}
+	})
+}

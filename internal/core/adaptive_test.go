@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/edgeai/fedml/internal/eval"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+func TestDispersionControllerPolicy(t *testing.T) {
+	ctrl := DispersionController(1, 20, 1.0)
+
+	if got := ctrl(2, 2.0, 10); got != 5 {
+		t.Errorf("high dispersion: T0 = %d, want 5 (halved)", got)
+	}
+	if got := ctrl(2, 0.1, 10); got != 15 {
+		t.Errorf("low dispersion: T0 = %d, want 15 (grown)", got)
+	}
+	if got := ctrl(2, 0.75, 10); got != 10 {
+		t.Errorf("in-band dispersion: T0 = %d, want unchanged 10", got)
+	}
+	if got := ctrl(2, 100, 1); got != 1 {
+		t.Errorf("min clamp: T0 = %d, want 1", got)
+	}
+	if got := ctrl(2, 0, 20); got != 20 {
+		t.Errorf("max clamp: T0 = %d, want 20", got)
+	}
+}
+
+func TestAdaptiveT0TrainingRespectsIterationBudget(t *testing.T) {
+	fed := tinyFederation(t, 0.5, 0.5)
+	m := tinyModel(fed)
+
+	var iters []int
+	var rounds []int
+	cfg := Config{
+		Alpha: 0.01, Beta: 0.01, T: 60, T0: 10, Seed: 2,
+		T0Controller: DispersionController(1, 20, 0.05),
+		OnRound: func(round, iter int, theta tensor.Vec) {
+			rounds = append(rounds, round)
+			iters = append(iters, iter)
+		},
+	}
+	res, err := Train(m, fed, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) == 0 {
+		t.Fatal("no rounds ran")
+	}
+	if final := iters[len(iters)-1]; final != 60 {
+		t.Errorf("total local iterations = %d, want exactly the budget 60", final)
+	}
+	for i := 1; i < len(iters); i++ {
+		if iters[i] <= iters[i-1] {
+			t.Fatalf("iteration counter not increasing: %v", iters)
+		}
+		if rounds[i] != rounds[i-1]+1 {
+			t.Fatalf("round counter skipped: %v", rounds)
+		}
+	}
+	if !res.Theta.IsFinite() {
+		t.Error("adaptive training produced non-finite θ")
+	}
+}
+
+func TestAdaptiveT0ReactsToDispersion(t *testing.T) {
+	// A controller that always demands more steps must produce fewer
+	// rounds than one that always demands fewer, at the same budget.
+	fed := tinyFederation(t, 0.5, 0.5)
+	m := tinyModel(fed)
+	countRounds := func(ctrl Controller) int {
+		n := 0
+		cfg := Config{
+			Alpha: 0.01, Beta: 0.01, T: 60, T0: 5, Seed: 2,
+			T0Controller: ctrl,
+			OnRound:      func(round, iter int, theta tensor.Vec) { n = round },
+		}
+		if _, err := Train(m, fed, nil, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	greedy := countRounds(func(_ int, _ float64, prev int) int { return prev * 2 })
+	chatty := countRounds(func(_ int, _ float64, _ int) int { return 1 })
+	if greedy >= chatty {
+		t.Errorf("growing T0 did not reduce round count: %d vs %d", greedy, chatty)
+	}
+}
+
+func TestAdaptiveT0StillLearns(t *testing.T) {
+	fed := tinyFederation(t, 0, 0)
+	m := tinyModel(fed)
+	theta0 := m.InitParams(rng.New(3))
+	before := eval.GlobalMetaObjective(m, fed, 0.01, theta0)
+	cfg := Config{
+		Alpha: 0.01, Beta: 0.01, T: 100, T0: 10, Seed: 3,
+		T0Controller: DispersionController(1, 25, 0.1),
+	}
+	res, err := Train(m, fed, theta0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := eval.GlobalMetaObjective(m, fed, 0.01, res.Theta)
+	if after >= before {
+		t.Errorf("adaptive-T0 training did not reduce G(θ): %v -> %v", before, after)
+	}
+}
+
+func TestControllerOutputClampedToBudgetAndOne(t *testing.T) {
+	fed := tinyFederation(t, 0, 0)
+	m := tinyModel(fed)
+	// Controller returns absurd values; platform must clamp to [1, budget].
+	cfg := Config{
+		Alpha: 0.01, Beta: 0.01, T: 20, T0: 5, Seed: 1,
+		T0Controller: func(round int, _ float64, _ int) int {
+			if round%2 == 0 {
+				return -100
+			}
+			return 10_000
+		},
+	}
+	var iters []int
+	cfg.OnRound = func(_, iter int, _ tensor.Vec) { iters = append(iters, iter) }
+	if _, err := Train(m, fed, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if iters[len(iters)-1] != 20 {
+		t.Errorf("budget violated: %v", iters)
+	}
+}

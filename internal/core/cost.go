@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// TimeModel estimates the wall-clock duration of a federated training run
+// on an edge deployment. The paper motivates the T0 knob by the
+// communication bottleneck of wireless edge networks; this model makes the
+// trade-off quantitative: each round costs one uplink and one downlink of
+// the full parameter vector plus T0 local iterations of compute, and nodes
+// work in parallel, so rounds dominate when the network is slow and local
+// compute dominates when it is fast.
+type TimeModel struct {
+	// OneWayLatency is the per-message network latency.
+	OneWayLatency time.Duration
+	// BandwidthBps is the link bandwidth in bytes per second (0 = infinite).
+	BandwidthBps float64
+	// LocalStepTime is the time one local meta-iteration takes on a node.
+	LocalStepTime time.Duration
+}
+
+// Validate checks the model.
+func (tm TimeModel) Validate() error {
+	switch {
+	case tm.OneWayLatency < 0:
+		return fmt.Errorf("core: negative latency %v", tm.OneWayLatency)
+	case tm.BandwidthBps < 0:
+		return fmt.Errorf("core: negative bandwidth %v", tm.BandwidthBps)
+	case tm.LocalStepTime < 0:
+		return fmt.Errorf("core: negative step time %v", tm.LocalStepTime)
+	}
+	return nil
+}
+
+// Estimate returns the modelled wall-clock time of a run that performed
+// stats.Rounds aggregations over totalIters local iterations with
+// paramBytes-sized parameter messages. Per round: downlink + T0 steps of
+// parallel local compute + uplink.
+func (tm TimeModel) Estimate(stats CommStats, totalIters, paramBytes int) (time.Duration, error) {
+	if err := tm.Validate(); err != nil {
+		return 0, err
+	}
+	if stats.Rounds <= 0 || totalIters < 0 || paramBytes < 0 {
+		return 0, fmt.Errorf("core: invalid run shape rounds=%d iters=%d bytes=%d", stats.Rounds, totalIters, paramBytes)
+	}
+	var transfer time.Duration
+	if tm.BandwidthBps > 0 {
+		transfer = time.Duration(float64(paramBytes) / tm.BandwidthBps * float64(time.Second))
+	}
+	perRoundComm := 2 * (tm.OneWayLatency + transfer) // downlink + uplink
+	compute := time.Duration(totalIters) * tm.LocalStepTime
+	return time.Duration(stats.Rounds)*perRoundComm + compute, nil
+}
+
+// EdgeProfiles are representative network profiles for the trade-off
+// experiments: a constrained wireless uplink, a typical broadband link, and
+// a datacenter-grade link.
+func EdgeProfiles(localStep time.Duration) map[string]TimeModel {
+	return map[string]TimeModel{
+		"lora-like":  {OneWayLatency: 500 * time.Millisecond, BandwidthBps: 6e3, LocalStepTime: localStep},
+		"wifi":       {OneWayLatency: 20 * time.Millisecond, BandwidthBps: 2e6, LocalStepTime: localStep},
+		"datacenter": {OneWayLatency: 200 * time.Microsecond, BandwidthBps: 1e9, LocalStepTime: localStep},
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeModelValidate(t *testing.T) {
+	bad := []TimeModel{
+		{OneWayLatency: -time.Second},
+		{BandwidthBps: -1},
+		{LocalStepTime: -time.Second},
+	}
+	for i, tm := range bad {
+		if err := tm.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+	if err := (TimeModel{}).Validate(); err != nil {
+		t.Errorf("zero model rejected: %v", err)
+	}
+}
+
+func TestTimeModelEstimate(t *testing.T) {
+	tm := TimeModel{
+		OneWayLatency: 10 * time.Millisecond,
+		BandwidthBps:  1e6, // 1 MB/s
+		LocalStepTime: time.Millisecond,
+	}
+	// 10 rounds, 100 iterations, 100 KB params:
+	// per round: 2*(10ms + 100ms) = 220ms → 2.2s; compute 100ms.
+	got, err := tm.Estimate(CommStats{Rounds: 10}, 100, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2300 * time.Millisecond
+	if got != want {
+		t.Errorf("estimate = %v, want %v", got, want)
+	}
+}
+
+func TestTimeModelInfiniteBandwidth(t *testing.T) {
+	tm := TimeModel{OneWayLatency: time.Millisecond}
+	got, err := tm.Estimate(CommStats{Rounds: 5}, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10*time.Millisecond {
+		t.Errorf("infinite-bandwidth estimate = %v, want 10ms", got)
+	}
+}
+
+func TestTimeModelEstimateRejections(t *testing.T) {
+	tm := TimeModel{}
+	if _, err := tm.Estimate(CommStats{Rounds: 0}, 10, 10); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := tm.Estimate(CommStats{Rounds: 1}, -1, 10); err == nil {
+		t.Error("negative iters accepted")
+	}
+	if _, err := (TimeModel{BandwidthBps: -1}).Estimate(CommStats{Rounds: 1}, 1, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestTimeModelT0TradeOff(t *testing.T) {
+	// On a slow network, fewer rounds (larger T0) must be faster at equal
+	// iteration budget; on a fast network the difference must collapse.
+	slow := TimeModel{OneWayLatency: 500 * time.Millisecond, BandwidthBps: 1e4, LocalStepTime: time.Millisecond}
+	fast := TimeModel{OneWayLatency: 100 * time.Microsecond, BandwidthBps: 1e9, LocalStepTime: time.Millisecond}
+	const totalIters, paramBytes = 200, 8 * 7850
+
+	slowFewRounds, err := slow.Estimate(CommStats{Rounds: 10}, totalIters, paramBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowManyRounds, err := slow.Estimate(CommStats{Rounds: 200}, totalIters, paramBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowFewRounds >= slowManyRounds {
+		t.Errorf("slow network: fewer rounds not faster (%v vs %v)", slowFewRounds, slowManyRounds)
+	}
+
+	fastFew, _ := fast.Estimate(CommStats{Rounds: 10}, totalIters, paramBytes)
+	fastMany, _ := fast.Estimate(CommStats{Rounds: 200}, totalIters, paramBytes)
+	ratioSlow := float64(slowManyRounds) / float64(slowFewRounds)
+	ratioFast := float64(fastMany) / float64(fastFew)
+	if ratioFast >= ratioSlow {
+		t.Errorf("T0 should matter less on fast networks: ratios %v vs %v", ratioFast, ratioSlow)
+	}
+}
+
+func TestEdgeProfiles(t *testing.T) {
+	ps := EdgeProfiles(time.Millisecond)
+	for _, name := range []string{"lora-like", "wifi", "datacenter"} {
+		tm, ok := ps[name]
+		if !ok {
+			t.Fatalf("missing profile %s", name)
+		}
+		if err := tm.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+		if tm.LocalStepTime != time.Millisecond {
+			t.Errorf("profile %s lost the step time", name)
+		}
+	}
+}

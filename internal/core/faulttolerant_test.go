@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/eval"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+// runFTPlatform wires n healthy nodes plus optional misbehaving links and
+// runs a fault-tolerant platform over them.
+func runFTPlatform(t *testing.T, fed *data.Federation, cfg Config, silent map[int]bool) (tensor.Vec, CommStats, error) {
+	t.Helper()
+	m := tinyModel(fed)
+	n := len(fed.Sources)
+	platformLinks := make([]transport.Link, n)
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		p, nl := transport.Pair()
+		platformLinks[i] = p
+		if silent[i] {
+			// A dead node: accepts the connection but never answers.
+			go func(l transport.Link) {
+				<-done
+				l.Close()
+			}(nl)
+			continue
+		}
+		go func(i int, l transport.Link) {
+			_ = RunNode(l, NodeConfig{ID: i, Model: m, Data: fed.Sources[i], Shared: cfg})
+			l.Close()
+		}(i, nl)
+	}
+	weights := fed.Weights()
+	theta0 := m.InitParams(rng.New(cfg.Seed))
+	theta, stats, err := RunPlatform(platformLinks, weights, theta0, cfg)
+	close(done)
+	return theta, stats, err
+}
+
+func TestFaultTolerantDropsSilentNode(t *testing.T) {
+	fed := tinyFederation(t, 0, 0)
+	fed.Sources = fed.Sources[:5]
+	cfg := Config{
+		Alpha: 0.01, Beta: 0.01, T: 30, T0: 10, Seed: 1,
+		RoundTimeout: 300 * time.Millisecond,
+	}
+	theta, stats, err := runFTPlatform(t, fed, cfg, map[int]bool{2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", stats.Dropped)
+	}
+	if stats.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", stats.Rounds)
+	}
+	if !theta.IsFinite() {
+		t.Error("θ not finite after fault-tolerant run")
+	}
+	// The run must still learn.
+	m := tinyModel(fed)
+	theta0 := m.InitParams(rng.New(cfg.Seed))
+	if eval.GlobalMetaObjective(m, fed, cfg.Alpha, theta) >= eval.GlobalMetaObjective(m, fed, cfg.Alpha, theta0) {
+		t.Error("fault-tolerant run did not reduce the objective")
+	}
+}
+
+func TestFaultTolerantDropsErroringNode(t *testing.T) {
+	fed := tinyFederation(t, 0, 0)
+	fed.Sources = fed.Sources[:4]
+	m := tinyModel(fed)
+	cfg := Config{
+		Alpha: 0.01, Beta: 0.01, T: 20, T0: 10, Seed: 1,
+		RoundTimeout: 500 * time.Millisecond,
+	}
+
+	n := len(fed.Sources)
+	platformLinks := make([]transport.Link, n)
+	for i := 0; i < n; i++ {
+		p, nl := transport.Pair()
+		platformLinks[i] = p
+		if i == 1 {
+			// A node that reports an application-level failure.
+			go func(l transport.Link) {
+				defer l.Close()
+				msg, err := l.Recv()
+				if err != nil {
+					return
+				}
+				_ = l.Send(transport.Msg{Kind: transport.KindError, Round: msg.Round, NodeID: 1, Err: "sensor offline"})
+			}(nl)
+			continue
+		}
+		go func(i int, l transport.Link) {
+			_ = RunNode(l, NodeConfig{ID: i, Model: m, Data: fed.Sources[i], Shared: cfg})
+			l.Close()
+		}(i, nl)
+	}
+	theta0 := m.InitParams(rng.New(1))
+	theta, stats, err := RunPlatform(platformLinks, fed.Weights(), theta0, cfg)
+	if err != nil {
+		t.Fatalf("fault-tolerant run aborted on a single node error: %v", err)
+	}
+	if stats.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", stats.Dropped)
+	}
+	if !theta.IsFinite() {
+		t.Error("θ not finite")
+	}
+}
+
+func TestFaultTolerantAbortsBelowMinNodes(t *testing.T) {
+	fed := tinyFederation(t, 0, 0)
+	fed.Sources = fed.Sources[:3]
+	cfg := Config{
+		Alpha: 0.01, Beta: 0.01, T: 30, T0: 10, Seed: 1,
+		RoundTimeout: 200 * time.Millisecond,
+		MinNodes:     3,
+	}
+	_, _, err := runFTPlatform(t, fed, cfg, map[int]bool{0: true})
+	if err == nil {
+		t.Fatal("run continued below MinNodes")
+	}
+	if !strings.Contains(err.Error(), "MinNodes") && !strings.Contains(err.Error(), "usable updates") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestFaultTolerantAbortsWhenAllNodesDead(t *testing.T) {
+	fed := tinyFederation(t, 0, 0)
+	fed.Sources = fed.Sources[:2]
+	cfg := Config{
+		Alpha: 0.01, Beta: 0.01, T: 20, T0: 10, Seed: 1,
+		RoundTimeout: 150 * time.Millisecond,
+	}
+	_, _, err := runFTPlatform(t, fed, cfg, map[int]bool{0: true, 1: true})
+	if err == nil {
+		t.Fatal("run with zero healthy nodes succeeded")
+	}
+}
+
+func TestStrictModeStillAbortsOnFailure(t *testing.T) {
+	// Without RoundTimeout a node error must abort (existing semantics).
+	fed := tinyFederation(t, 0, 0)
+	fed.Sources = fed.Sources[:2]
+	m := tinyModel(fed)
+	cfg := Config{Alpha: 0.01, Beta: 0.01, T: 10, T0: 10, Seed: 1}
+
+	p0, n0 := transport.Pair()
+	p1, n1 := transport.Pair()
+	go func() {
+		_ = RunNode(n0, NodeConfig{ID: 0, Model: m, Data: fed.Sources[0], Shared: cfg})
+		n0.Close()
+	}()
+	go func() {
+		defer n1.Close()
+		msg, err := n1.Recv()
+		if err != nil {
+			return
+		}
+		_ = n1.Send(transport.Msg{Kind: transport.KindError, Round: msg.Round, NodeID: 1, Err: "boom"})
+	}()
+	_, _, err := RunPlatform([]transport.Link{p0, p1}, []float64{0.5, 0.5}, m.InitParams(rng.New(1)), cfg)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("strict mode did not abort with the node error: %v", err)
+	}
+	p0.Close()
+	p1.Close()
+}
+
+func TestTrainWithRoundTimeoutHealthyFederation(t *testing.T) {
+	// With all nodes healthy, fault-tolerant Train must behave like the
+	// strict path (modulo shutdown races, which it must tolerate).
+	fed := tinyFederation(t, 0, 0)
+	m := tinyModel(fed)
+	cfg := Config{
+		Alpha: 0.01, Beta: 0.01, T: 30, T0: 10, Seed: 2,
+		RoundTimeout: 2 * time.Second,
+	}
+	res, err := Train(m, fed, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.Dropped != 0 {
+		t.Errorf("healthy federation dropped %d nodes", res.Comm.Dropped)
+	}
+	strict, err := Train(m, fed, nil, Config{Alpha: 0.01, Beta: 0.01, T: 30, T0: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta.Dist(strict.Theta) != 0 {
+		t.Error("fault-tolerant and strict runs disagree on a healthy federation")
+	}
+}
+
+func TestLogfReceivesDropEvents(t *testing.T) {
+	fed := tinyFederation(t, 0, 0)
+	fed.Sources = fed.Sources[:4]
+	var logged []string
+	cfg := Config{
+		Alpha: 0.01, Beta: 0.01, T: 20, T0: 10, Seed: 1,
+		RoundTimeout: 250 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			logged = append(logged, fmt.Sprintf(format, args...))
+		},
+	}
+	_, stats, err := runFTPlatform(t, fed, cfg, map[int]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped != 1 {
+		t.Fatalf("dropped = %d", stats.Dropped)
+	}
+	found := false
+	for _, line := range logged {
+		if strings.Contains(line, "dropped node 1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("drop event not logged: %v", logged)
+	}
+}

@@ -1,0 +1,8 @@
+package core
+
+import "net"
+
+// newLocalListener opens a loopback listener on an ephemeral port.
+func newLocalListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

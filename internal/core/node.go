@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/dro"
+	"github.com/edgeai/fedml/internal/meta"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+// NodeConfig identifies one source edge node.
+type NodeConfig struct {
+	// ID is the node's index in the federation (used in protocol messages
+	// and to derive the node's private random stream).
+	ID int
+	// Model is the shared model family.
+	Model nn.Model
+	// Data is the node's local dataset (already split into train/test).
+	Data *data.NodeDataset
+	// Shared holds the algorithm hyper-parameters (must match the
+	// platform's).
+	Shared Config
+}
+
+// RunNode executes the node side of Algorithm 1 (or Algorithm 2 when
+// Shared.Robust is set) over link, until the platform sends KindDone or the
+// link fails. Any node-side failure is reported to the platform as a
+// KindError message before returning.
+func RunNode(link transport.Link, nc NodeConfig) error {
+	cfg := nc.Shared.normalized()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if nc.Model == nil || nc.Data == nil {
+		return fmt.Errorf("core: node %d missing model or data", nc.ID)
+	}
+
+	n := &nodeState{
+		cfg:   cfg,
+		model: nc.Model,
+		data:  nc.Data,
+		id:    nc.ID,
+		rand:  rng.New(cfg.Seed).Split(uint64(nc.ID) + 1),
+	}
+
+	for {
+		msg, err := link.Recv()
+		if err != nil {
+			return fmt.Errorf("core: node %d recv: %w", nc.ID, err)
+		}
+		switch msg.Kind {
+		case transport.KindDone:
+			return nil
+		case transport.KindParams:
+			steps := cfg.T0
+			if msg.LocalSteps > 0 {
+				steps = msg.LocalSteps
+			}
+			theta, err := n.localUpdates(tensor.Vec(msg.Params), steps)
+			if err != nil {
+				// Report the failure to the platform so it can abort the
+				// round instead of hanging.
+				_ = link.Send(transport.Msg{
+					Kind:   transport.KindError,
+					Round:  msg.Round,
+					NodeID: nc.ID,
+					Err:    err.Error(),
+				})
+				return fmt.Errorf("core: node %d local update: %w", nc.ID, err)
+			}
+			if err := link.Send(transport.Msg{
+				Kind:   transport.KindUpdate,
+				Round:  msg.Round,
+				NodeID: nc.ID,
+				Params: theta,
+			}); err != nil {
+				return fmt.Errorf("core: node %d send update: %w", nc.ID, err)
+			}
+		default:
+			return fmt.Errorf("%w: node %d got unexpected %v", ErrProtocol, nc.ID, msg.Kind)
+		}
+	}
+}
+
+// nodeState carries the across-round state of one node: the iteration
+// counter, the adversarial dataset D_adv, and the regeneration count r.
+type nodeState struct {
+	cfg   Config
+	model nn.Model
+	data  *data.NodeDataset
+	id    int
+	rand  *rng.Rand
+
+	iter     int
+	adv      []data.Sample
+	advRound int // r in Algorithm 2
+}
+
+// localUpdates performs `steps` local meta-updates starting from the
+// received global parameters and returns the updated vector (Algorithm 1
+// lines 6–13, Algorithm 2 lines 6–22). The step count is normally T0 but
+// the platform may override it per round.
+func (n *nodeState) localUpdates(global tensor.Vec, steps int) (tensor.Vec, error) {
+	if len(global) != n.model.NumParams() {
+		return nil, fmt.Errorf("core: node %d got %d params, model needs %d", n.id, len(global), n.model.NumParams())
+	}
+	theta := global.Clone()
+	cfg := n.cfg
+	for t := 0; t < steps; t++ {
+		n.iter++
+		train, test := n.data.Train, n.data.Test
+		if cfg.BatchSize > 0 {
+			train = data.Minibatch(n.rand, n.data.Train, cfg.BatchSize)
+			test = data.Minibatch(n.rand, n.data.Test, cfg.BatchSize)
+		}
+		var grad, phi tensor.Vec
+		if cfg.Robust != nil {
+			grad, phi = meta.GradWithExtra(n.model, theta, train, test, n.adv, cfg.Alpha, cfg.GradMode)
+		} else {
+			grad, phi = meta.Grad(n.model, theta, train, test, cfg.Alpha, cfg.GradMode)
+		}
+		theta.Axpy(-cfg.Beta, grad)
+		if !theta.IsFinite() {
+			return nil, fmt.Errorf("core: node %d diverged at iteration %d (non-finite parameters)", n.id, n.iter)
+		}
+		if r := cfg.Robust; r != nil && n.iter%(r.N0*cfg.T0) == 0 && n.advRound < r.R {
+			if err := n.generateAdversarial(phi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return theta, nil
+}
+
+// generateAdversarial implements Algorithm 2 lines 15–22: sample |D_test|
+// points uniformly from D_comb = D_test ∪ D_adv, run Ta steps of penalized
+// gradient ascent on each under the current inner-adapted model φ, and
+// append the results to D_adv.
+func (n *nodeState) generateAdversarial(phi tensor.Vec) error {
+	r := n.cfg.Robust
+	comb := make([]data.Sample, 0, len(n.data.Test)+len(n.adv))
+	comb = append(comb, n.data.Test...)
+	comb = append(comb, n.adv...)
+	if len(comb) == 0 {
+		return nil
+	}
+	pcfg := dro.PerturbConfig{
+		Lambda:   r.Lambda,
+		Nu:       r.Nu,
+		Steps:    r.Ta,
+		Cost:     r.Cost,
+		ClampMin: r.ClampMin,
+		ClampMax: r.ClampMax,
+	}
+	fresh := make([]data.Sample, 0, len(n.data.Test))
+	for j := 0; j < len(n.data.Test); j++ {
+		s := comb[n.rand.IntN(len(comb))]
+		adv, err := dro.Perturb(n.model, phi, s, n.data.Test, pcfg)
+		if err != nil {
+			return fmt.Errorf("core: node %d adversarial generation: %w", n.id, err)
+		}
+		fresh = append(fresh, adv)
+	}
+	n.adv = append(n.adv, fresh...)
+	n.advRound++
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/edgeai/fedml/internal/eval"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+func TestParticipationValidation(t *testing.T) {
+	cfg := Config{Alpha: 0.01, Beta: 0.01, T: 10, T0: 5, Participation: -0.1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative participation accepted")
+	}
+	cfg.Participation = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("participation > 1 accepted")
+	}
+	cfg.Participation = 0.5
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid participation rejected: %v", err)
+	}
+}
+
+func TestParticipationSelector(t *testing.T) {
+	t.Run("full participation", func(t *testing.T) {
+		s := newParticipationSelector(Config{Participation: 0}, 5)
+		sel := s.pick()
+		if len(sel) != 5 {
+			t.Fatalf("selected %d of 5", len(sel))
+		}
+		s1 := newParticipationSelector(Config{Participation: 1}, 5)
+		if len(s1.pick()) != 5 {
+			t.Fatal("participation=1 should select everyone")
+		}
+	})
+
+	t.Run("partial deterministic", func(t *testing.T) {
+		a := newParticipationSelector(Config{Participation: 0.4, Seed: 3}, 10)
+		b := newParticipationSelector(Config{Participation: 0.4, Seed: 3}, 10)
+		for round := 0; round < 5; round++ {
+			sa, sb := a.pick(), b.pick()
+			if len(sa) != 4 {
+				t.Fatalf("selected %d, want ceil(0.4*10)=4", len(sa))
+			}
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatal("selection not deterministic")
+				}
+				if i > 0 && sa[i] <= sa[i-1] {
+					t.Fatal("selection not sorted/unique")
+				}
+			}
+		}
+	})
+
+	t.Run("at least one node", func(t *testing.T) {
+		s := newParticipationSelector(Config{Participation: 0.01, Seed: 1}, 3)
+		if len(s.pick()) != 1 {
+			t.Fatal("tiny participation must still pick one node")
+		}
+	})
+
+	t.Run("covers all nodes over time", func(t *testing.T) {
+		s := newParticipationSelector(Config{Participation: 0.3, Seed: 9}, 10)
+		seen := map[int]bool{}
+		for round := 0; round < 50; round++ {
+			for _, i := range s.pick() {
+				seen[i] = true
+			}
+		}
+		if len(seen) != 10 {
+			t.Errorf("only %d/10 nodes ever selected", len(seen))
+		}
+	})
+}
+
+func TestTrainWithPartialParticipation(t *testing.T) {
+	fed := tinyFederation(t, 0, 0)
+	m := tinyModel(fed)
+	theta0 := m.InitParams(rng.New(4))
+
+	var roundsSeen int
+	cfg := Config{
+		Alpha: 0.01, Beta: 0.01, T: 100, T0: 10, Seed: 4, Participation: 0.5,
+		OnRound: func(round, iter int, theta tensor.Vec) { roundsSeen = round },
+	}
+	before := eval.GlobalMetaObjective(m, fed, cfg.Alpha, theta0)
+	res, err := Train(m, fed, theta0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roundsSeen != 10 {
+		t.Errorf("rounds = %d, want 10", roundsSeen)
+	}
+	after := eval.GlobalMetaObjective(m, fed, cfg.Alpha, res.Theta)
+	if after >= before {
+		t.Errorf("partial-participation training did not reduce G(θ): %v -> %v", before, after)
+	}
+
+	// Sampling must cut traffic roughly in half relative to full
+	// participation.
+	full, err := Train(m, fed, theta0, Config{Alpha: 0.01, Beta: 0.01, T: 100, T0: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.Messages >= full.Comm.Messages {
+		t.Errorf("sampled run sent %d messages, full run %d", res.Comm.Messages, full.Comm.Messages)
+	}
+}
+
+func TestTrainPartialParticipationDeterministic(t *testing.T) {
+	fed := tinyFederation(t, 0.5, 0.5)
+	m := tinyModel(fed)
+	cfg := Config{Alpha: 0.01, Beta: 0.01, T: 40, T0: 10, Seed: 6, Participation: 0.5}
+	a, err := Train(m, fed, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(m, fed, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Theta.Dist(b.Theta) != 0 {
+		t.Error("partial participation broke determinism")
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+// CommStats accounts for the platform↔edge traffic of one training run.
+type CommStats struct {
+	// Rounds is the number of global aggregations.
+	Rounds int
+	// Messages is the total number of parameter-bearing messages.
+	Messages int
+	// Bytes is the payload volume, counting 8 bytes per parameter.
+	Bytes int64
+	// Dropped counts nodes removed by fault-tolerant rounds.
+	Dropped int
+}
+
+// linkOps abstracts per-node I/O so the strict synchronous path and the
+// fault-tolerant (deadline-bounded) path share the round loop.
+type linkOps interface {
+	send(i int, m transport.Msg) error
+	recv(i int) (transport.Msg, error)
+	// drop stops communicating with node i (fault-tolerant mode only).
+	drop(i int)
+	// finish releases any resources the ops layer created.
+	finish()
+}
+
+// syncOps is the strict path: direct blocking I/O on the caller's links.
+type syncOps struct{ links []transport.Link }
+
+var _ linkOps = syncOps{}
+
+func (s syncOps) send(i int, m transport.Msg) error { return s.links[i].Send(m) }
+func (s syncOps) recv(i int) (transport.Msg, error) { return s.links[i].Recv() }
+func (syncOps) drop(int)                            {}
+func (syncOps) finish()                             {}
+
+// asyncOps is the fault-tolerant path: every link gets goroutine pumps and
+// every operation a deadline, so dead or slow nodes cannot stall a round.
+type asyncOps struct {
+	wrapped []*transport.Async
+	timeout time.Duration
+}
+
+var _ linkOps = (*asyncOps)(nil)
+
+func (a *asyncOps) send(i int, m transport.Msg) error {
+	return a.wrapped[i].TrySend(m, a.timeout)
+}
+
+func (a *asyncOps) recv(i int) (transport.Msg, error) {
+	return a.wrapped[i].TryRecv(a.timeout)
+}
+
+func (a *asyncOps) drop(i int) { _ = a.wrapped[i].Close() }
+
+func (a *asyncOps) finish() {
+	for _, w := range a.wrapped {
+		_ = w.Close()
+	}
+}
+
+// RunPlatform executes the platform side of Algorithms 1/2: broadcast the
+// current global parameters to the (possibly sampled) nodes, gather their
+// local updates, and aggregate with the data-size weights (Eq. 5),
+// renormalized over the responders. links[i] must connect to the node
+// carrying weight weights[i]; theta0 is not modified.
+//
+// With cfg.RoundTimeout > 0 the platform runs fault-tolerant rounds: it
+// takes ownership of the links (they are closed when training ends), and a
+// node that misses the deadline, disconnects, or reports an error is
+// dropped and training continues while at least cfg.MinNodes remain.
+func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, cfg Config) (tensor.Vec, CommStats, error) {
+	var stats CommStats
+	c := cfg.normalized()
+	if err := c.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if len(links) == 0 {
+		return nil, stats, fmt.Errorf("core: no nodes to federate")
+	}
+	if len(links) != len(weights) {
+		return nil, stats, fmt.Errorf("core: %d links but %d weights", len(links), len(weights))
+	}
+	var wsum float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, stats, fmt.Errorf("core: negative aggregation weight %v", w)
+		}
+		wsum += w
+	}
+	if wsum <= 0 {
+		return nil, stats, fmt.Errorf("core: aggregation weights sum to %v", wsum)
+	}
+
+	ft := c.RoundTimeout > 0
+	minNodes := c.MinNodes
+	if minNodes == 0 {
+		minNodes = 1
+	}
+	var ops linkOps = syncOps{links: links}
+	if ft {
+		wrapped := make([]*transport.Async, len(links))
+		for i, l := range links {
+			wrapped[i] = transport.NewAsync(l, 2)
+		}
+		a := &asyncOps{wrapped: wrapped, timeout: c.RoundTimeout}
+		defer a.finish()
+		ops = a
+	}
+
+	alive := make([]bool, len(links))
+	aliveCount := len(links)
+	for i := range alive {
+		alive[i] = true
+	}
+	logf := c.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	markDead := func(i int, round int, cause error) {
+		if alive[i] {
+			alive[i] = false
+			aliveCount--
+			stats.Dropped++
+			ops.drop(i)
+			logf("core: dropped node %d in round %d (%d alive): %v", i, round, aliveCount, cause)
+		}
+	}
+
+	theta := theta0.Clone()
+	selector := newParticipationSelector(c, len(links))
+	var (
+		iter       int
+		dispersion float64
+	)
+	t0 := c.T0
+	for round := 1; iter < c.T; round++ {
+		if c.T0Controller != nil && round > 1 {
+			t0 = c.T0Controller(round, dispersion, t0)
+			if t0 < 1 {
+				t0 = 1
+			}
+		}
+		if remaining := c.T - iter; t0 > remaining {
+			t0 = remaining
+		}
+
+		selected := make([]int, 0, len(links))
+		for _, i := range selector.pick() {
+			if alive[i] {
+				selected = append(selected, i)
+			}
+		}
+		if len(selected) == 0 {
+			// The sample missed every alive node; fall back to all of them.
+			for i := range alive {
+				if alive[i] {
+					selected = append(selected, i)
+				}
+			}
+		}
+
+		roundNodes := selected[:0:len(selected)]
+		for _, i := range selected {
+			err := ops.send(i, transport.Msg{
+				Kind:       transport.KindParams,
+				Round:      round,
+				Params:     theta,
+				LocalSteps: t0,
+			})
+			if err != nil {
+				if ft {
+					markDead(i, round, err)
+					continue
+				}
+				return nil, stats, fmt.Errorf("core: broadcast round %d to node %d: %w", round, i, err)
+			}
+			roundNodes = append(roundNodes, i)
+			stats.Messages++
+			stats.Bytes += int64(8 * len(theta))
+		}
+
+		updates := make([]tensor.Vec, 0, len(roundNodes))
+		selWeights := make([]float64, 0, len(roundNodes))
+		var selSum float64
+		for _, i := range roundNodes {
+			msg, err := ops.recv(i)
+			if err == nil {
+				switch {
+				case msg.Kind == transport.KindError:
+					err = fmt.Errorf("core: node %d failed in round %d: %s", msg.NodeID, round, msg.Err)
+				case msg.Kind != transport.KindUpdate:
+					err = fmt.Errorf("%w: expected update, got %v from node %d", ErrProtocol, msg.Kind, i)
+				case msg.Round != round:
+					err = fmt.Errorf("%w: node %d answered round %d during round %d", ErrProtocol, i, msg.Round, round)
+				case len(msg.Params) != len(theta):
+					err = fmt.Errorf("%w: node %d sent %d params, want %d", ErrProtocol, i, len(msg.Params), len(theta))
+				}
+			} else {
+				err = fmt.Errorf("core: gather round %d from node %d: %w", round, i, err)
+			}
+			if err != nil {
+				if ft {
+					markDead(i, round, err)
+					continue
+				}
+				return nil, stats, err
+			}
+			updates = append(updates, msg.Params)
+			selWeights = append(selWeights, weights[i])
+			selSum += weights[i]
+			stats.Messages++
+			stats.Bytes += int64(8 * len(msg.Params))
+		}
+		if len(updates) == 0 || selSum <= 0 {
+			return nil, stats, fmt.Errorf("core: round %d produced no usable updates (%d nodes alive)", round, aliveCount)
+		}
+		if aliveCount < minNodes {
+			return nil, stats, fmt.Errorf("core: only %d nodes alive, below MinNodes=%d", aliveCount, minNodes)
+		}
+
+		theta = tensor.WeightedSum(selWeights, updates)
+		theta.ScaleInPlace(1 / selSum)
+		// Measure the update dispersion around the new aggregate — the
+		// similarity proxy fed back to the T0 controller.
+		dispersion = 0
+		for k, u := range updates {
+			dispersion += selWeights[k] / selSum * u.Dist(theta)
+		}
+		iter += t0
+		stats.Rounds++
+		if c.OnRound != nil {
+			c.OnRound(round, iter, theta)
+		}
+	}
+	for i := range links {
+		if !alive[i] {
+			continue
+		}
+		if err := ops.send(i, transport.Msg{Kind: transport.KindDone}); err != nil {
+			if ft {
+				markDead(i, -1, err)
+				continue
+			}
+			return nil, stats, fmt.Errorf("core: done to node %d: %w", i, err)
+		}
+	}
+	return theta, stats, nil
+}
+
+// participationSelector picks the per-round node subset for client
+// sampling. Full participation returns the fixed identity subset.
+type participationSelector struct {
+	n        int
+	perRound int
+	rand     *rng.Rand
+	all      []int
+}
+
+func newParticipationSelector(c Config, n int) *participationSelector {
+	s := &participationSelector{n: n, all: make([]int, n)}
+	for i := range s.all {
+		s.all[i] = i
+	}
+	if c.Participation <= 0 || c.Participation >= 1 {
+		return s
+	}
+	s.perRound = int(math.Ceil(c.Participation * float64(n)))
+	if s.perRound < 1 {
+		s.perRound = 1
+	}
+	s.rand = rng.New(c.Seed ^ 0x5e1ec7)
+	return s
+}
+
+// pick returns the node indices participating in the next round, sorted so
+// that gathers and aggregation stay deterministic.
+func (s *participationSelector) pick() []int {
+	if s.rand == nil {
+		return s.all
+	}
+	perm := s.rand.Perm(s.n)
+	sel := perm[:s.perRound]
+	sort.Ints(sel)
+	return sel
+}

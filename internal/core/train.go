@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+// Result is the outcome of a federated meta-training run.
+type Result struct {
+	// Theta is the final global model initialization θ.
+	Theta tensor.Vec
+	// Comm accounts for the platform↔edge traffic.
+	Comm CommStats
+}
+
+// Train runs FedML (or Robust FedML when cfg.Robust is set) fully
+// in-process: each source node of fed executes in its own goroutine,
+// connected to the platform by an in-memory link. The computation is
+// deterministic: aggregation order is fixed by node index and every node's
+// randomness derives from cfg.Seed.
+//
+// theta0 may be nil, in which case the model initializes it from cfg.Seed
+// (Algorithm 1 line 3).
+func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Result, error) {
+	c := cfg.normalized()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil || fed == nil {
+		return nil, errors.New("core: nil model or federation")
+	}
+	if len(fed.Sources) == 0 {
+		return nil, errors.New("core: federation has no source nodes")
+	}
+	if theta0 == nil {
+		theta0 = m.InitParams(rng.New(c.Seed))
+	}
+	if len(theta0) != m.NumParams() {
+		return nil, fmt.Errorf("core: theta0 has %d params, model needs %d", len(theta0), m.NumParams())
+	}
+
+	platformLinks := make([]transport.Link, len(fed.Sources))
+	nodeLinks := make([]transport.Link, len(fed.Sources))
+	for i := range fed.Sources {
+		platformLinks[i], nodeLinks[i] = transport.Pair()
+	}
+
+	var wg sync.WaitGroup
+	nodeErrs := make([]error, len(fed.Sources))
+	for i, nd := range fed.Sources {
+		wg.Add(1)
+		go func(i int, nd *data.NodeDataset) {
+			defer wg.Done()
+			nodeErrs[i] = RunNode(nodeLinks[i], NodeConfig{
+				ID:     i,
+				Model:  m,
+				Data:   nd,
+				Shared: c,
+			})
+		}(i, nd)
+	}
+
+	theta, stats, platformErr := RunPlatform(platformLinks, fed.Weights(), theta0, c)
+
+	// Tear down the links so nodes blocked on Recv (after a platform-side
+	// failure) unblock, then collect node errors.
+	for _, l := range platformLinks {
+		_ = l.Close()
+	}
+	wg.Wait()
+	for _, l := range nodeLinks {
+		_ = l.Close()
+	}
+
+	if platformErr != nil {
+		// A node failure surfaces on both sides; prefer the node's error,
+		// which carries the root cause.
+		for _, err := range nodeErrs {
+			if err != nil && !errors.Is(err, transport.ErrClosed) {
+				return nil, fmt.Errorf("federated training: %w", err)
+			}
+		}
+		return nil, fmt.Errorf("federated training: %w", platformErr)
+	}
+	for _, err := range nodeErrs {
+		if err == nil {
+			continue
+		}
+		// In fault-tolerant mode dropped (or raced-at-shutdown) nodes see
+		// their link closed by the platform; that is expected, not failure.
+		if c.RoundTimeout > 0 && errors.Is(err, transport.ErrClosed) {
+			continue
+		}
+		return nil, fmt.Errorf("federated training: %w", err)
+	}
+	return &Result{Theta: theta, Comm: stats}, nil
+}

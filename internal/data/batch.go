@@ -1,0 +1,29 @@
+package data
+
+import "github.com/edgeai/fedml/internal/rng"
+
+// Minibatch draws a uniform random subset of `size` samples without
+// replacement (the whole slice, reshuffled copy-free semantics aside, when
+// size >= len(samples)). The originals are not modified.
+func Minibatch(r *rng.Rand, samples []Sample, size int) []Sample {
+	if size <= 0 || len(samples) == 0 {
+		return nil
+	}
+	if size >= len(samples) {
+		out := make([]Sample, len(samples))
+		copy(out, samples)
+		return out
+	}
+	// Partial Fisher-Yates: draw `size` distinct indices.
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]Sample, size)
+	for k := 0; k < size; k++ {
+		j := k + r.IntN(len(idx)-k)
+		idx[k], idx[j] = idx[j], idx[k]
+		out[k] = samples[idx[k]]
+	}
+	return out
+}

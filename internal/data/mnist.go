@@ -1,0 +1,178 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// _digitGlyphs is a 5x7 pixel font for the digits 0-9 ('#' = ink). The
+// MNIST-like generator upscales these to 28x28 and applies per-sample jitter
+// and noise; see DESIGN.md §3 for why this substitution preserves the
+// experiment's behaviour (real MNIST is unavailable offline).
+var _digitGlyphs = [10][7]string{
+	{" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "}, // 0
+	{"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "}, // 1
+	{" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"}, // 2
+	{"#####", "   # ", "  #  ", "   # ", "    #", "#   #", " ### "}, // 3
+	{"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "}, // 4
+	{"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "}, // 5
+	{"  ## ", " #   ", "#    ", "#### ", "#   #", "#   #", " ### "}, // 6
+	{"#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "}, // 7
+	{" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "}, // 8
+	{" ### ", "#   #", "#   #", " ####", "    #", "   # ", " ##  "}, // 9
+}
+
+// MNISTImageSide is the side length of generated digit images.
+const MNISTImageSide = 28
+
+// MNISTConfig parameterizes the MNIST-like workload: 100 nodes, each holding
+// samples of only two digits, node sizes following a power law (Table I:
+// mean 34, stdev 5).
+type MNISTConfig struct {
+	// Nodes is the number of edge nodes (paper: 100).
+	Nodes int
+	// DigitsPerNode is the label-skew level (paper: 2 digits per node).
+	DigitsPerNode int
+	// K is the training-split size.
+	K int
+	// MeanSamples/StdSamples parameterize node sizes.
+	MeanSamples, StdSamples float64
+	// NoiseStd is the per-pixel Gaussian noise level.
+	NoiseStd float64
+	// SourceFraction is the fraction of meta-training nodes (paper: 80%).
+	SourceFraction float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultMNISTConfig returns the paper's configuration.
+func DefaultMNISTConfig() MNISTConfig {
+	return MNISTConfig{
+		Nodes:          100,
+		DigitsPerNode:  2,
+		K:              5,
+		MeanSamples:    34,
+		StdSamples:     5,
+		NoiseStd:       0.45,
+		SourceFraction: 0.8,
+		Seed:           2,
+	}
+}
+
+// GenerateMNIST builds the MNIST-like Federation: each node is assigned
+// DigitsPerNode digit classes and draws noisy, jittered renderings of those
+// digits. Pixels are in [0, 1], matching the input domain assumed by the
+// adversarial-perturbation experiments.
+func GenerateMNIST(cfg MNISTConfig) (*Federation, error) {
+	if err := validateMNIST(cfg); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	sizes := PowerLawSizes(root.Split(0), cfg.Nodes, cfg.MeanSamples, cfg.StdSamples, cfg.K+2)
+
+	fed := &Federation{
+		Name:       "MNIST",
+		Dim:        MNISTImageSide * MNISTImageSide,
+		NumClasses: 10,
+	}
+	numSources := int(math.Round(cfg.SourceFraction * float64(cfg.Nodes)))
+	if numSources <= 0 || numSources >= cfg.Nodes {
+		return nil, fmt.Errorf("data: SourceFraction %v leaves no sources or no targets among %d nodes", cfg.SourceFraction, cfg.Nodes)
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		nodeRng := root.Split(uint64(i) + 1)
+		digits := pickDigits(nodeRng, cfg.DigitsPerNode)
+		samples := make([]Sample, sizes[i])
+		for s := range samples {
+			d := digits[nodeRng.IntN(len(digits))]
+			samples[s] = Sample{X: RenderDigit(nodeRng, d, cfg.NoiseStd), Y: d}
+		}
+		nd, err := SplitNode(nodeRng, samples, cfg.K)
+		if err != nil {
+			return nil, fmt.Errorf("split node %d: %w", i, err)
+		}
+		if i < numSources {
+			fed.Sources = append(fed.Sources, nd)
+		} else {
+			fed.Targets = append(fed.Targets, nd)
+		}
+	}
+	return fed, nil
+}
+
+func pickDigits(r *rng.Rand, n int) []int {
+	p := r.Perm(10)
+	return p[:n]
+}
+
+// RenderDigit rasterizes digit d onto a 28x28 image with random sub-glyph
+// translation, per-sample stroke intensity, and Gaussian pixel noise, then
+// clamps to [0, 1]. The glyph occupies a 20x28 region (5x7 font upscaled
+// by 4) placed with ±2 pixel jitter.
+func RenderDigit(r *rng.Rand, d int, noiseStd float64) tensor.Vec {
+	if d < 0 || d > 9 {
+		panic(fmt.Sprintf("data: RenderDigit with non-digit class %d", d))
+	}
+	const (
+		side  = MNISTImageSide
+		scale = 3 // 5x7 font -> 15x21 glyph, leaving room for jitter
+	)
+	img := tensor.NewVec(side * side)
+
+	// Jittered top-left corner of the glyph region (width 15, height 21).
+	offX := 6 + r.IntN(9) - 4 // x offset in [2, 10]
+	offY := 3 + r.IntN(7) - 3 // y offset in [0, 6]
+	ink := 0.55 + 0.45*r.Float64()
+
+	glyph := &_digitGlyphs[d]
+	for gy := 0; gy < 7; gy++ {
+		rowStr := glyph[gy]
+		for gx := 0; gx < 5; gx++ {
+			if rowStr[gx] != '#' {
+				continue
+			}
+			for dy := 0; dy < scale; dy++ {
+				y := offY + gy*scale + dy
+				if y < 0 || y >= side {
+					continue
+				}
+				for dx := 0; dx < scale; dx++ {
+					x := offX + gx*scale + dx
+					if x < 0 || x >= side {
+						continue
+					}
+					img[y*side+x] = ink
+				}
+			}
+		}
+	}
+	if noiseStd > 0 {
+		for i := range img {
+			img[i] += r.NormMeanStd(0, noiseStd)
+		}
+	}
+	img.ClampInPlace(0, 1)
+	return img
+}
+
+func validateMNIST(cfg MNISTConfig) error {
+	switch {
+	case cfg.Nodes < 2:
+		return fmt.Errorf("data: need at least 2 nodes, got %d", cfg.Nodes)
+	case cfg.DigitsPerNode < 1 || cfg.DigitsPerNode > 10:
+		return fmt.Errorf("data: DigitsPerNode must be in [1,10], got %d", cfg.DigitsPerNode)
+	case cfg.K <= 0:
+		return fmt.Errorf("data: K must be positive, got %d", cfg.K)
+	case cfg.MeanSamples <= 0 || cfg.StdSamples < 0:
+		return fmt.Errorf("data: invalid node-size moments mean=%v std=%v", cfg.MeanSamples, cfg.StdSamples)
+	case cfg.NoiseStd < 0:
+		return fmt.Errorf("data: negative NoiseStd %v", cfg.NoiseStd)
+	case cfg.SourceFraction <= 0 || cfg.SourceFraction >= 1:
+		return fmt.Errorf("data: SourceFraction must be in (0,1), got %v", cfg.SourceFraction)
+	}
+	return nil
+}

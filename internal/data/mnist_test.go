@@ -1,0 +1,120 @@
+package data
+
+import (
+	"testing"
+
+	"github.com/edgeai/fedml/internal/rng"
+)
+
+func TestGenerateMNISTShape(t *testing.T) {
+	cfg := DefaultMNISTConfig()
+	cfg.Nodes = 20 // keep the test fast
+	fed, err := GenerateMNIST(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.Dim != 784 || fed.NumClasses != 10 {
+		t.Errorf("shape = %d/%d, want 784/10", fed.Dim, fed.NumClasses)
+	}
+	if len(fed.Sources) != 16 || len(fed.Targets) != 4 {
+		t.Errorf("source/target = %d/%d, want 16/4", len(fed.Sources), len(fed.Targets))
+	}
+}
+
+func TestMNISTLabelSkewTwoDigitsPerNode(t *testing.T) {
+	cfg := DefaultMNISTConfig()
+	cfg.Nodes = 20
+	fed, err := GenerateMNIST(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range fed.Sources {
+		labels := map[int]bool{}
+		for _, s := range n.All() {
+			labels[s.Y] = true
+		}
+		if len(labels) > 2 {
+			t.Errorf("node %d has %d distinct digits, want <= 2", i, len(labels))
+		}
+	}
+}
+
+func TestMNISTPixelsInUnitRange(t *testing.T) {
+	cfg := DefaultMNISTConfig()
+	cfg.Nodes = 4
+	fed, err := GenerateMNIST(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range fed.Sources {
+		for _, s := range n.All() {
+			for _, p := range s.X {
+				if p < 0 || p > 1 {
+					t.Fatalf("pixel %v outside [0,1]", p)
+				}
+			}
+		}
+	}
+}
+
+func TestRenderDigitClassesAreDistinguishable(t *testing.T) {
+	// Noise-free renderings of different digits must differ; renderings of
+	// the same digit with the same RNG state must be identical.
+	mean := func(d int) []float64 {
+		r := rng.New(42)
+		acc := make([]float64, MNISTImageSide*MNISTImageSide)
+		const n = 20
+		for i := 0; i < n; i++ {
+			img := RenderDigit(r, d, 0)
+			for j, p := range img {
+				acc[j] += p / n
+			}
+		}
+		return acc
+	}
+	m0, m1 := mean(0), mean(1)
+	var dist float64
+	for j := range m0 {
+		d := m0[j] - m1[j]
+		dist += d * d
+	}
+	if dist < 1 {
+		t.Errorf("mean images of digits 0 and 1 nearly identical (dist²=%v)", dist)
+	}
+}
+
+func TestRenderDigitDeterministic(t *testing.T) {
+	a := RenderDigit(rng.New(9), 7, 0.1)
+	b := RenderDigit(rng.New(9), 7, 0.1)
+	if a.Dist(b) != 0 {
+		t.Error("same RNG state produced different renderings")
+	}
+}
+
+func TestRenderDigitPanicsOnBadClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RenderDigit(10) did not panic")
+		}
+	}()
+	RenderDigit(rng.New(1), 10, 0)
+}
+
+func TestMNISTValidation(t *testing.T) {
+	bad := []func(*MNISTConfig){
+		func(c *MNISTConfig) { c.Nodes = 0 },
+		func(c *MNISTConfig) { c.DigitsPerNode = 0 },
+		func(c *MNISTConfig) { c.DigitsPerNode = 11 },
+		func(c *MNISTConfig) { c.K = 0 },
+		func(c *MNISTConfig) { c.NoiseStd = -1 },
+		func(c *MNISTConfig) { c.SourceFraction = 0 },
+		func(c *MNISTConfig) { c.MeanSamples = -2 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultMNISTConfig()
+		mutate(&cfg)
+		if _, err := GenerateMNIST(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

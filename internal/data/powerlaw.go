@@ -1,0 +1,35 @@
+package data
+
+import (
+	"math"
+
+	"github.com/edgeai/fedml/internal/rng"
+)
+
+// PowerLawSizes draws n per-node sample counts whose distribution has
+// approximately the given mean and standard deviation, with a heavy right
+// tail (the paper states "the number of samples on each node follows a power
+// law"). We use a lognormal draw — the standard heavy-tailed stand-in used
+// by the FedProx codebase the paper's generator is modelled on — with
+// moment-matched parameters, clipped below at min.
+func PowerLawSizes(r *rng.Rand, n int, mean, std float64, min int) []int {
+	if n <= 0 {
+		return nil
+	}
+	// Moment matching: for X ~ LogNormal(mu, sigma),
+	// E X = exp(mu + sigma^2/2), Var X = (exp(sigma^2)-1) E[X]^2.
+	cv := std / mean
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	sigma := math.Sqrt(sigma2)
+
+	sizes := make([]int, n)
+	for i := range sizes {
+		v := int(math.Round(r.LogNormal(mu, sigma)))
+		if v < min {
+			v = min
+		}
+		sizes[i] = v
+	}
+	return sizes
+}

@@ -1,0 +1,152 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// SyntheticConfig parameterizes the Synthetic(α̃, β̃) generator from §VI-A of
+// the paper (which follows the FedProx setup). Alpha controls how much the
+// per-node ground-truth models differ; Beta controls how much the per-node
+// input distributions differ. Synthetic(0,0) is the most homogeneous setting.
+type SyntheticConfig struct {
+	// Alpha is α̃: variance of the per-node model mean u_i.
+	Alpha float64
+	// Beta is β̃: variance of the per-node input mean B_i.
+	Beta float64
+	// Nodes is the total number of nodes (paper: 50).
+	Nodes int
+	// Dim is the input dimension (paper: 60).
+	Dim int
+	// Classes is the number of labels (paper: 10).
+	Classes int
+	// K is the training-split size |D_i^train|.
+	K int
+	// MeanSamples/StdSamples parameterize the power-law node sizes
+	// (Table I: mean 17, stdev 5).
+	MeanSamples, StdSamples float64
+	// SourceFraction is the fraction of nodes used as meta-training sources
+	// (paper: 80%).
+	SourceFraction float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultSyntheticConfig returns the paper's configuration for
+// Synthetic(alpha, beta).
+func DefaultSyntheticConfig(alpha, beta float64) SyntheticConfig {
+	return SyntheticConfig{
+		Alpha:          alpha,
+		Beta:           beta,
+		Nodes:          50,
+		Dim:            60,
+		Classes:        10,
+		K:              5,
+		MeanSamples:    17,
+		StdSamples:     5,
+		SourceFraction: 0.8,
+		Seed:           1,
+	}
+}
+
+// GenerateSynthetic builds a Federation according to the paper's generative
+// model: for node i, draw u_i ~ N(0, α̃) and B_i ~ N(0, β̃); the node's true
+// model is W_i ~ N(u_i, 1) (entrywise), b_i ~ N(u_i, 1); its inputs are
+// x ~ N(v_i, Σ) with v_i entrywise ~ N(B_i, 1) and Σ diagonal with
+// Σ_kk = k^-1.2; labels are y = argmax softmax(W_i x + b_i).
+func GenerateSynthetic(cfg SyntheticConfig) (*Federation, error) {
+	if err := validateSynthetic(cfg); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	sizeRng := root.Split(0)
+	sizes := PowerLawSizes(sizeRng, cfg.Nodes, cfg.MeanSamples, cfg.StdSamples, cfg.K+2)
+
+	fed := &Federation{
+		Name:       fmt.Sprintf("Synthetic(%g,%g)", cfg.Alpha, cfg.Beta),
+		Dim:        cfg.Dim,
+		NumClasses: cfg.Classes,
+	}
+
+	// Diagonal input covariance Σ_kk = k^-1.2 (k is 1-based in the paper).
+	sigma := make([]float64, cfg.Dim)
+	for k := range sigma {
+		sigma[k] = math.Pow(float64(k+1), -1.2)
+	}
+
+	numSources := int(math.Round(cfg.SourceFraction * float64(cfg.Nodes)))
+	if numSources <= 0 || numSources >= cfg.Nodes {
+		return nil, fmt.Errorf("data: SourceFraction %v leaves no sources or no targets among %d nodes", cfg.SourceFraction, cfg.Nodes)
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		nodeRng := root.Split(uint64(i) + 1)
+		samples := syntheticNodeSamples(nodeRng, cfg, sigma, sizes[i])
+		nd, err := SplitNode(nodeRng, samples, cfg.K)
+		if err != nil {
+			return nil, fmt.Errorf("split node %d: %w", i, err)
+		}
+		if i < numSources {
+			fed.Sources = append(fed.Sources, nd)
+		} else {
+			fed.Targets = append(fed.Targets, nd)
+		}
+	}
+	return fed, nil
+}
+
+func syntheticNodeSamples(r *rng.Rand, cfg SyntheticConfig, sigma []float64, n int) []Sample {
+	// Per-node latent means.
+	u := r.NormMeanStd(0, math.Sqrt(cfg.Alpha))
+	b := r.NormMeanStd(0, math.Sqrt(cfg.Beta))
+
+	// Node's ground-truth model W_i, b_i.
+	w := tensor.NewMat(cfg.Classes, cfg.Dim)
+	for j := range w.Data {
+		w.Data[j] = r.NormMeanStd(u, 1)
+	}
+	bias := tensor.NewVec(cfg.Classes)
+	for j := range bias {
+		bias[j] = r.NormMeanStd(u, 1)
+	}
+
+	// Node's input mean v_i.
+	v := tensor.NewVec(cfg.Dim)
+	for j := range v {
+		v[j] = r.NormMeanStd(b, 1)
+	}
+
+	samples := make([]Sample, n)
+	logits := tensor.NewVec(cfg.Classes)
+	for s := range samples {
+		x := tensor.NewVec(cfg.Dim)
+		for j := range x {
+			x[j] = r.NormMeanStd(v[j], math.Sqrt(sigma[j]))
+		}
+		w.MulVec(x, logits)
+		logits.AddInPlace(bias)
+		samples[s] = Sample{X: x, Y: logits.ArgMax()}
+	}
+	return samples
+}
+
+func validateSynthetic(cfg SyntheticConfig) error {
+	switch {
+	case cfg.Alpha < 0 || cfg.Beta < 0:
+		return fmt.Errorf("data: negative similarity variances α̃=%v β̃=%v", cfg.Alpha, cfg.Beta)
+	case cfg.Nodes < 2:
+		return fmt.Errorf("data: need at least 2 nodes, got %d", cfg.Nodes)
+	case cfg.Dim <= 0 || cfg.Classes < 2:
+		return fmt.Errorf("data: invalid shape dim=%d classes=%d", cfg.Dim, cfg.Classes)
+	case cfg.K <= 0:
+		return fmt.Errorf("data: K must be positive, got %d", cfg.K)
+	case cfg.MeanSamples <= 0 || cfg.StdSamples < 0:
+		return fmt.Errorf("data: invalid node-size moments mean=%v std=%v", cfg.MeanSamples, cfg.StdSamples)
+	case cfg.SourceFraction <= 0 || cfg.SourceFraction >= 1:
+		return fmt.Errorf("data: SourceFraction must be in (0,1), got %v", cfg.SourceFraction)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// BootstrapResult summarizes a paired-bootstrap comparison.
+type BootstrapResult struct {
+	// MeanDiff is the observed mean of a[i] − b[i].
+	MeanDiff float64
+	// Lo, Hi bound the percentile confidence interval of the mean
+	// difference.
+	Lo, Hi float64
+	// Significant reports whether the interval excludes zero.
+	Significant bool
+}
+
+// PairedBootstrap estimates a percentile confidence interval for the mean
+// difference between two paired per-target metric vectors (e.g. the adapted
+// accuracies of two algorithms on the same target nodes) by resampling
+// target indices with replacement. The randomness is fully deterministic
+// given r.
+func PairedBootstrap(r *rng.Rand, a, b []float64, resamples int, confidence float64) (BootstrapResult, error) {
+	switch {
+	case len(a) == 0 || len(a) != len(b):
+		return BootstrapResult{}, fmt.Errorf("eval: paired bootstrap needs equal non-empty vectors, got %d and %d", len(a), len(b))
+	case resamples < 10:
+		return BootstrapResult{}, fmt.Errorf("eval: need at least 10 resamples, got %d", resamples)
+	case confidence <= 0 || confidence >= 1:
+		return BootstrapResult{}, fmt.Errorf("eval: confidence must be in (0,1), got %v", confidence)
+	case r == nil:
+		return BootstrapResult{}, fmt.Errorf("eval: nil rng")
+	}
+
+	n := len(a)
+	diffs := make([]float64, n)
+	var mean float64
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+		mean += diffs[i] / float64(n)
+	}
+
+	means := make([]float64, resamples)
+	for k := 0; k < resamples; k++ {
+		var m float64
+		for j := 0; j < n; j++ {
+			m += diffs[r.IntN(n)]
+		}
+		means[k] = m / float64(n)
+	}
+	sort.Float64s(means)
+	tail := (1 - confidence) / 2
+	lo := means[clampIndex(int(tail*float64(resamples)), resamples)]
+	hi := means[clampIndex(int((1-tail)*float64(resamples)), resamples)]
+
+	return BootstrapResult{
+		MeanDiff:    mean,
+		Lo:          lo,
+		Hi:          hi,
+		Significant: lo > 0 || hi < 0,
+	}, nil
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// FinalAccuracies returns each target node's test accuracy after `steps`
+// fast-adaptation gradient steps — the per-target vector the paired
+// bootstrap compares across algorithms.
+func FinalAccuracies(m nn.Model, theta tensor.Vec, targets []*data.NodeDataset, alpha float64, steps int) []float64 {
+	out := make([]float64, len(targets))
+	for i, node := range targets {
+		curve := AdaptationCurve(m, theta, node, alpha, steps)
+		out[i] = curve[len(curve)-1].Accuracy
+	}
+	return out
+}
+
+// CompareAlgorithms runs the paired bootstrap on the final adapted
+// accuracies of two initializations over the same target nodes.
+func CompareAlgorithms(r *rng.Rand, m nn.Model, thetaA, thetaB tensor.Vec, targets []*data.NodeDataset, alpha float64, steps, resamples int, confidence float64) (BootstrapResult, error) {
+	if len(targets) == 0 {
+		return BootstrapResult{}, fmt.Errorf("eval: no target nodes to compare on")
+	}
+	a := FinalAccuracies(m, thetaA, targets, alpha, steps)
+	b := FinalAccuracies(m, thetaB, targets, alpha, steps)
+	return PairedBootstrap(r, a, b, resamples, confidence)
+}

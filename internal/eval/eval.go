@@ -1,0 +1,179 @@
+// Package eval provides the measurement side of the reproduction: the global
+// meta-learning objective G(θ) tracked by the convergence experiments, and
+// the fast-adaptation curves (loss/accuracy at the target nodes as a
+// function of adaptation gradient steps) reported in Figures 3 and 4.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/dro"
+	"github.com/edgeai/fedml/internal/meta"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// GlobalMetaObjective evaluates G(θ) = Σ_i ω_i L(φ_i(θ), D_i^test) over the
+// federation's source nodes — the quantity whose convergence Theorem 2
+// bounds.
+func GlobalMetaObjective(m nn.Model, fed *data.Federation, alpha float64, theta tensor.Vec) float64 {
+	weights := fed.Weights()
+	var total float64
+	for i, nd := range fed.Sources {
+		total += weights[i] * meta.Objective(m, theta, nd.Train, nd.Test, alpha)
+	}
+	return total
+}
+
+// Point is one tracked measurement.
+type Point struct {
+	// Iter is the global iteration count at measurement time.
+	Iter int
+	// Value is the measured quantity (loss, accuracy, ...).
+	Value float64
+}
+
+// Series is a named sequence of measurements, ordered by insertion.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a measurement.
+func (s *Series) Add(iter int, value float64) {
+	s.Points = append(s.Points, Point{Iter: iter, Value: value})
+}
+
+// Last returns the most recent point; ok is false if the series is empty.
+func (s *Series) Last() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// Min returns the smallest value in the series (+Inf-free: zero for empty).
+func (s *Series) Min() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].Value
+	for _, p := range s.Points[1:] {
+		if p.Value < m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// TSV renders the series as two tab-separated columns, one point per line.
+func (s *Series) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Name)
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%d\t%.6g\n", p.Iter, p.Value)
+	}
+	return b.String()
+}
+
+// AdaptPoint is the target-node performance after a number of fast-
+// adaptation gradient steps.
+type AdaptPoint struct {
+	Step     int
+	Loss     float64
+	Accuracy float64
+}
+
+// AdaptationCurve adapts theta on the node's K-sample training set for up to
+// maxSteps gradient steps at rate alpha, recording the test-set loss and
+// accuracy after every step. Entry 0 is the un-adapted model.
+func AdaptationCurve(m nn.Model, theta tensor.Vec, node *data.NodeDataset, alpha float64, maxSteps int) []AdaptPoint {
+	curve := make([]AdaptPoint, 0, maxSteps+1)
+	phi := theta.Clone()
+	for step := 0; step <= maxSteps; step++ {
+		if step > 0 {
+			phi.Axpy(-alpha, m.Grad(phi, node.Train))
+		}
+		curve = append(curve, AdaptPoint{
+			Step:     step,
+			Loss:     m.Loss(phi, node.Test),
+			Accuracy: nn.Accuracy(m, phi, node.Test),
+		})
+	}
+	return curve
+}
+
+// AverageAdaptationCurve averages AdaptationCurve over all target nodes —
+// the quantity plotted in Figures 3(c)–3(e).
+func AverageAdaptationCurve(m nn.Model, theta tensor.Vec, targets []*data.NodeDataset, alpha float64, maxSteps int) []AdaptPoint {
+	if len(targets) == 0 {
+		return nil
+	}
+	avg := make([]AdaptPoint, maxSteps+1)
+	for _, node := range targets {
+		curve := AdaptationCurve(m, theta, node, alpha, maxSteps)
+		for i, p := range curve {
+			avg[i].Step = p.Step
+			avg[i].Loss += p.Loss
+			avg[i].Accuracy += p.Accuracy
+		}
+	}
+	inv := 1 / float64(len(targets))
+	for i := range avg {
+		avg[i].Loss *= inv
+		avg[i].Accuracy *= inv
+	}
+	return avg
+}
+
+// AdversarialAdaptationCurve adapts on the node's CLEAN training data and,
+// after every step, evaluates on an FGSM-attacked copy of the node's test
+// set (attack budget xi, white-box against the currently adapted
+// parameters) — the Figure 4 protocol. Entry 0 is the un-adapted model.
+func AdversarialAdaptationCurve(m nn.Model, theta tensor.Vec, node *data.NodeDataset, alpha float64, maxSteps int, xi, clampMin, clampMax float64) ([]AdaptPoint, error) {
+	curve := make([]AdaptPoint, 0, maxSteps+1)
+	phi := theta.Clone()
+	for step := 0; step <= maxSteps; step++ {
+		if step > 0 {
+			phi.Axpy(-alpha, m.Grad(phi, node.Train))
+		}
+		advTest, err := dro.FGSMBatch(m, phi, node.Test, xi, clampMin, clampMax)
+		if err != nil {
+			return nil, fmt.Errorf("eval: FGSM at step %d: %w", step, err)
+		}
+		curve = append(curve, AdaptPoint{
+			Step:     step,
+			Loss:     m.Loss(phi, advTest),
+			Accuracy: nn.Accuracy(m, phi, advTest),
+		})
+	}
+	return curve, nil
+}
+
+// AverageAdversarialAdaptationCurve averages AdversarialAdaptationCurve over
+// the target nodes.
+func AverageAdversarialAdaptationCurve(m nn.Model, theta tensor.Vec, targets []*data.NodeDataset, alpha float64, maxSteps int, xi, clampMin, clampMax float64) ([]AdaptPoint, error) {
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	avg := make([]AdaptPoint, maxSteps+1)
+	for ti, node := range targets {
+		curve, err := AdversarialAdaptationCurve(m, theta, node, alpha, maxSteps, xi, clampMin, clampMax)
+		if err != nil {
+			return nil, fmt.Errorf("eval: target %d: %w", ti, err)
+		}
+		for i, p := range curve {
+			avg[i].Step = p.Step
+			avg[i].Loss += p.Loss
+			avg[i].Accuracy += p.Accuracy
+		}
+	}
+	inv := 1 / float64(len(targets))
+	for i := range avg {
+		avg[i].Loss *= inv
+		avg[i].Accuracy *= inv
+	}
+	return avg, nil
+}

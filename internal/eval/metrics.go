@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// ConfusionMatrix counts (true class, predicted class) pairs.
+type ConfusionMatrix struct {
+	// Classes is the label-space size; Counts is row-major [true][pred].
+	Classes int
+	Counts  []int
+}
+
+// NewConfusionMatrix returns an empty matrix over `classes` labels.
+func NewConfusionMatrix(classes int) (*ConfusionMatrix, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("eval: confusion matrix needs >= 2 classes, got %d", classes)
+	}
+	return &ConfusionMatrix{Classes: classes, Counts: make([]int, classes*classes)}, nil
+}
+
+// Observe records one (true, predicted) pair.
+func (c *ConfusionMatrix) Observe(trueClass, predicted int) error {
+	if trueClass < 0 || trueClass >= c.Classes || predicted < 0 || predicted >= c.Classes {
+		return fmt.Errorf("eval: observation (%d, %d) outside %d classes", trueClass, predicted, c.Classes)
+	}
+	c.Counts[trueClass*c.Classes+predicted]++
+	return nil
+}
+
+// At returns the count of samples with the given true class predicted as
+// the given class.
+func (c *ConfusionMatrix) At(trueClass, predicted int) int {
+	return c.Counts[trueClass*c.Classes+predicted]
+}
+
+// Total returns the number of observations.
+func (c *ConfusionMatrix) Total() int {
+	var t int
+	for _, v := range c.Counts {
+		t += v
+	}
+	return t
+}
+
+// Accuracy returns the trace fraction, or 0 with no observations.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for k := 0; k < c.Classes; k++ {
+		correct += c.At(k, k)
+	}
+	return float64(correct) / float64(total)
+}
+
+// Recall returns per-class recall (diagonal over row sum); classes never
+// observed get NaN-free 0.
+func (c *ConfusionMatrix) Recall() []float64 {
+	out := make([]float64, c.Classes)
+	for k := 0; k < c.Classes; k++ {
+		var row int
+		for j := 0; j < c.Classes; j++ {
+			row += c.At(k, j)
+		}
+		if row > 0 {
+			out[k] = float64(c.At(k, k)) / float64(row)
+		}
+	}
+	return out
+}
+
+// Precision returns per-class precision (diagonal over column sum).
+func (c *ConfusionMatrix) Precision() []float64 {
+	out := make([]float64, c.Classes)
+	for k := 0; k < c.Classes; k++ {
+		var col int
+		for j := 0; j < c.Classes; j++ {
+			col += c.At(j, k)
+		}
+		if col > 0 {
+			out[k] = float64(c.At(k, k)) / float64(col)
+		}
+	}
+	return out
+}
+
+// MacroF1 returns the unweighted mean F1 over classes that appear in the
+// data (either as truth or prediction).
+func (c *ConfusionMatrix) MacroF1() float64 {
+	prec := c.Precision()
+	rec := c.Recall()
+	var sum float64
+	active := 0
+	for k := 0; k < c.Classes; k++ {
+		var seen int
+		for j := 0; j < c.Classes; j++ {
+			seen += c.At(k, j) + c.At(j, k)
+		}
+		if seen == 0 {
+			continue
+		}
+		active++
+		if prec[k]+rec[k] > 0 {
+			sum += 2 * prec[k] * rec[k] / (prec[k] + rec[k])
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	return sum / float64(active)
+}
+
+// String renders the matrix with row/column headers.
+func (c *ConfusionMatrix) String() string {
+	var b strings.Builder
+	b.WriteString("true\\pred")
+	for j := 0; j < c.Classes; j++ {
+		fmt.Fprintf(&b, "%6d", j)
+	}
+	b.WriteByte('\n')
+	for k := 0; k < c.Classes; k++ {
+		fmt.Fprintf(&b, "%9d", k)
+		for j := 0; j < c.Classes; j++ {
+			fmt.Fprintf(&b, "%6d", c.At(k, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Confusion evaluates the model on batch and returns the confusion matrix.
+func Confusion(m nn.Model, params tensor.Vec, batch []data.Sample, classes int) (*ConfusionMatrix, error) {
+	cm, err := NewConfusionMatrix(classes)
+	if err != nil {
+		return nil, err
+	}
+	if len(batch) == 0 {
+		return cm, nil
+	}
+	preds := m.PredictBatch(params, batch)
+	for i, s := range batch {
+		if err := cm.Observe(s.Y, preds[i]); err != nil {
+			return nil, fmt.Errorf("eval: sample %d: %w", i, err)
+		}
+	}
+	return cm, nil
+}

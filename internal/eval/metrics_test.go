@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/rng"
+)
+
+func TestNewConfusionMatrixValidation(t *testing.T) {
+	if _, err := NewConfusionMatrix(1); err == nil {
+		t.Error("1-class matrix accepted")
+	}
+	cm, err := NewConfusionMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Total() != 0 || cm.Accuracy() != 0 {
+		t.Error("fresh matrix not empty")
+	}
+}
+
+func TestConfusionObserveAndMetrics(t *testing.T) {
+	cm, _ := NewConfusionMatrix(2)
+	// truth 0: 3 correct, 1 wrong; truth 1: 2 correct, 0 wrong.
+	obs := [][2]int{{0, 0}, {0, 0}, {0, 0}, {0, 1}, {1, 1}, {1, 1}}
+	for _, o := range obs {
+		if err := cm.Observe(o[0], o[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cm.Total() != 6 {
+		t.Errorf("total = %d", cm.Total())
+	}
+	if got := cm.Accuracy(); math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("accuracy = %v", got)
+	}
+	rec := cm.Recall()
+	if math.Abs(rec[0]-0.75) > 1e-12 || rec[1] != 1 {
+		t.Errorf("recall = %v", rec)
+	}
+	prec := cm.Precision()
+	if prec[0] != 1 || math.Abs(prec[1]-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", prec)
+	}
+	// F1_0 = 2*1*0.75/1.75 = 6/7; F1_1 = 2*(2/3)*1/(5/3) = 0.8.
+	wantF1 := (6.0/7 + 0.8) / 2
+	if got := cm.MacroF1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("macro F1 = %v, want %v", got, wantF1)
+	}
+}
+
+func TestConfusionObserveRejectsOutOfRange(t *testing.T) {
+	cm, _ := NewConfusionMatrix(2)
+	for _, o := range [][2]int{{-1, 0}, {0, 2}, {2, 0}, {0, -1}} {
+		if err := cm.Observe(o[0], o[1]); err == nil {
+			t.Errorf("observation %v accepted", o)
+		}
+	}
+}
+
+func TestConfusionMacroF1SkipsUnseenClasses(t *testing.T) {
+	cm, _ := NewConfusionMatrix(4)
+	_ = cm.Observe(0, 0)
+	_ = cm.Observe(1, 1)
+	// Classes 2, 3 never appear: macro F1 over active classes only.
+	if got := cm.MacroF1(); got != 1 {
+		t.Errorf("macro F1 = %v, want 1", got)
+	}
+	empty, _ := NewConfusionMatrix(2)
+	if empty.MacroF1() != 0 {
+		t.Error("empty macro F1 should be 0")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	cm, _ := NewConfusionMatrix(2)
+	_ = cm.Observe(0, 1)
+	s := cm.String()
+	if !strings.Contains(s, "true\\pred") || !strings.Contains(s, "1") {
+		t.Errorf("render: %q", s)
+	}
+}
+
+func TestConfusionFromModel(t *testing.T) {
+	fed, m := tinyFederation(t)
+	theta := m.InitParams(rng.New(1))
+	var all []data.Sample
+	for _, n := range fed.Sources {
+		all = append(all, n.Test...)
+	}
+	cm, err := Confusion(m, theta, all, fed.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Total() != len(all) {
+		t.Errorf("observed %d of %d", cm.Total(), len(all))
+	}
+	// Matrix accuracy must agree with nn.Accuracy.
+	preds := m.PredictBatch(theta, all)
+	correct := 0
+	for i, s := range all {
+		if preds[i] == s.Y {
+			correct++
+		}
+	}
+	if math.Abs(cm.Accuracy()-float64(correct)/float64(len(all))) > 1e-12 {
+		t.Error("confusion accuracy disagrees with direct count")
+	}
+
+	empty, err := Confusion(m, theta, nil, fed.NumClasses)
+	if err != nil || empty.Total() != 0 {
+		t.Error("empty batch confusion broken")
+	}
+	if _, err := Confusion(m, theta, all, 1); err == nil {
+		t.Error("bad class count accepted")
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestThm3ShapeAndRender(t *testing.T) {
+	res, err := RunThm3(DefaultThm3Config(ScaleCI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no target points")
+	}
+	for _, p := range res.Points {
+		if p.SurrogateDist <= 0 {
+			t.Errorf("target %d: surrogate distance %v not positive", p.Target, p.SurrogateDist)
+		}
+		// The gap can be slightly negative on tiny test sets (sampling
+		// noise), but it should not be hugely negative: adapting from the
+		// target's own optimum should not be much worse.
+		if p.AdaptGap < -0.5 {
+			t.Errorf("target %d: adaptation gap %v unreasonably negative", p.Target, p.AdaptGap)
+		}
+	}
+	if res.RankCorrelation < -1 || res.RankCorrelation > 1 {
+		t.Errorf("rank correlation %v outside [-1, 1]", res.RankCorrelation)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Spearman") || !strings.Contains(out, "Theorem 3") {
+		t.Errorf("render missing pieces:\n%s", out)
+	}
+}
+
+func TestSpearmanKnownCases(t *testing.T) {
+	perfect := []Thm3Point{
+		{SurrogateDist: 1, AdaptGap: 10},
+		{SurrogateDist: 2, AdaptGap: 20},
+		{SurrogateDist: 3, AdaptGap: 30},
+	}
+	if got := spearman(perfect); got != 1 {
+		t.Errorf("perfect correlation = %v, want 1", got)
+	}
+	inverted := []Thm3Point{
+		{SurrogateDist: 1, AdaptGap: 30},
+		{SurrogateDist: 2, AdaptGap: 20},
+		{SurrogateDist: 3, AdaptGap: 10},
+	}
+	if got := spearman(inverted); got != -1 {
+		t.Errorf("inverted correlation = %v, want -1", got)
+	}
+	if got := spearman(perfect[:1]); got != 0 {
+		t.Errorf("single point correlation = %v, want 0", got)
+	}
+	constant := []Thm3Point{
+		{SurrogateDist: 1, AdaptGap: 5},
+		{SurrogateDist: 2, AdaptGap: 5},
+	}
+	if got := spearman(constant); got != 0 {
+		t.Errorf("degenerate correlation = %v, want 0", got)
+	}
+}
+
+func TestExtTimeShape(t *testing.T) {
+	cfg := DefaultExtTimeConfig(ScaleCI)
+	cfg.TargetG = 1.0 // easy target so every run crosses it
+	res, err := RunExtTime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3*len(cfg.T0s) {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	reached := 0
+	for _, c := range res.Cells {
+		if c.ItersToTarget > 0 {
+			reached++
+			if c.Time <= 0 {
+				t.Errorf("cell %s/T0=%d reached target with zero time", c.Profile, c.T0)
+			}
+		}
+	}
+	if reached == 0 {
+		t.Fatal("no run reached the target objective")
+	}
+	// The paper's §IV claim: slow links prefer larger T0 than fast links.
+	slowBest, slowOK := res.BestT0["lora-like"]
+	fastBest, fastOK := res.BestT0["datacenter"]
+	if slowOK && fastOK && slowBest < fastBest {
+		t.Errorf("slow network preferred SMALLER T0 (%d) than fast network (%d)", slowBest, fastBest)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "best T0 per profile") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestExtTimeUnreachedTarget(t *testing.T) {
+	cfg := DefaultExtTimeConfig(ScaleCI)
+	cfg.T = 20
+	cfg.T0s = []int{5}
+	cfg.TargetG = 1e-9 // unreachable
+	res, err := RunExtTime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.ItersToTarget != 0 || c.Time != 0 {
+			t.Errorf("unreachable target produced crossing: %+v", c)
+		}
+	}
+	if len(res.BestT0) != 0 {
+		t.Errorf("BestT0 populated for unreachable target: %v", res.BestT0)
+	}
+	if !strings.Contains(res.Render(), "not reached") {
+		t.Error("render missing 'not reached'")
+	}
+}
+
+func TestExtTimeRejectsBadT0(t *testing.T) {
+	cfg := DefaultExtTimeConfig(ScaleCI)
+	cfg.T0s = []int{7} // 200 % 7 != 0
+	if _, err := RunExtTime(cfg); err == nil {
+		t.Error("non-divisor T0 accepted")
+	}
+}
+
+func TestExtBaselinesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five training runs are slow")
+	}
+	res, err := RunExtBaselines(DefaultExtBaselinesConfig(ScaleCI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 5 || len(res.Curves) != 5 || len(res.SourceMeta) != 5 {
+		t.Fatalf("expected 5 algorithms, got %d", len(res.Names))
+	}
+	for i, name := range res.Names {
+		c := res.Curves[i]
+		if len(c) == 0 {
+			t.Fatalf("%s: empty curve", name)
+		}
+		final := c[len(c)-1].Accuracy
+		if final <= 0.2 {
+			t.Errorf("%s adapted accuracy %v barely above chance", name, final)
+		}
+		if res.SourceMeta[i] <= 0 {
+			t.Errorf("%s: non-positive source meta objective", name)
+		}
+	}
+	// FedML optimizes the source meta-objective directly; it must achieve
+	// the (weakly) best value there among all algorithms.
+	for i := 1; i < len(res.Names); i++ {
+		if res.SourceMeta[0] > res.SourceMeta[i]+0.05 {
+			t.Errorf("FedML source G %.4f materially worse than %s %.4f",
+				res.SourceMeta[0], res.Names[i], res.SourceMeta[i])
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"FedML", "FedProx", "Reptile", "source meta-objective"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestExtensionExperimentsRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"thm3", "ext-time", "ext-baselines"} {
+		if !ids[want] {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+}
+
+func TestDefaultExtTimeConfigSane(t *testing.T) {
+	cfg := DefaultExtTimeConfig(ScalePaper)
+	if cfg.T != 500 || cfg.LocalStepTime != 2*time.Millisecond {
+		t.Errorf("paper-scale config unexpected: %+v", cfg)
+	}
+}
+
+func TestExtMetaOptShape(t *testing.T) {
+	res, err := RunExtMetaOpt(DefaultExtMetaOptConfig(ScaleCI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 3 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	for i, s := range res.Curves {
+		if len(s.Points) == 0 {
+			t.Fatalf("%s: empty curve", s.Name)
+		}
+		first := s.Points[0].Value
+		if res.Finals[i] >= first {
+			t.Errorf("%s did not reduce the objective: %v -> %v", s.Name, first, res.Finals[i])
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"sgd", "momentum", "adam", "final objectives"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

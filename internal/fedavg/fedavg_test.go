@@ -1,0 +1,174 @@
+package fedavg
+
+import (
+	"testing"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+func tinyFederation(t *testing.T) *data.Federation {
+	t.Helper()
+	cfg := data.DefaultSyntheticConfig(0, 0)
+	cfg.Nodes = 10
+	cfg.Dim = 10
+	cfg.Classes = 4
+	cfg.MeanSamples = 20
+	cfg.Seed = 11
+	fed, err := data.GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+// globalLoss is the FedAvg objective: the data-size-weighted average loss
+// over the full local datasets.
+func globalLoss(m nn.Model, fed *data.Federation, theta tensor.Vec) float64 {
+	w := fed.Weights()
+	var total float64
+	for i, nd := range fed.Sources {
+		total += w[i] * m.Loss(theta, nd.All())
+	}
+	return total
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Eta: 0.1, T: 10, T0: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Eta: 0, T: 10, T0: 5},
+		{Eta: 0.1, T: 0, T0: 5},
+		{Eta: 0.1, T: 10, T0: 0},
+		{Eta: 0.1, T: 10, T0: 4},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTrainReducesGlobalLoss(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	theta0 := m.InitParams(rng.New(1))
+	before := globalLoss(m, fed, theta0)
+	res, err := Train(m, fed, theta0, Config{Eta: 0.05, T: 100, T0: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := globalLoss(m, fed, res.Theta)
+	if after >= before {
+		t.Errorf("FedAvg did not reduce the global loss: %v -> %v", before, after)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	cfg := Config{Eta: 0.05, T: 40, T0: 10, Seed: 3}
+	a, err := Train(m, fed, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(m, fed, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Theta.Dist(b.Theta) != 0 {
+		t.Error("FedAvg is not deterministic")
+	}
+}
+
+func TestTrainOnRoundCallback(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	var iters []int
+	cfg := Config{Eta: 0.05, T: 30, T0: 10, OnRound: func(round, iter int, theta tensor.Vec) {
+		iters = append(iters, iter)
+	}}
+	if _, err := Train(m, fed, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != 3 || iters[0] != 10 || iters[2] != 30 {
+		t.Errorf("callback iters = %v", iters)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	okCfg := Config{Eta: 0.05, T: 10, T0: 5}
+	if _, err := Train(nil, fed, nil, okCfg); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Train(m, nil, nil, okCfg); err == nil {
+		t.Error("nil federation accepted")
+	}
+	if _, err := Train(m, &data.Federation{}, nil, okCfg); err == nil {
+		t.Error("empty federation accepted")
+	}
+	if _, err := Train(m, fed, tensor.NewVec(1), okCfg); err == nil {
+		t.Error("bad theta0 accepted")
+	}
+	if _, err := Train(m, fed, nil, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFedProxValidation(t *testing.T) {
+	cfg := Config{Eta: 0.1, T: 10, T0: 5, ProxMu: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative ProxMu accepted")
+	}
+}
+
+func TestFedProxKeepsUpdatesNearGlobal(t *testing.T) {
+	// A large proximal coefficient must hold the per-round update close to
+	// the previous global model, so the overall parameter movement shrinks.
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	theta0 := m.InitParams(rng.New(5))
+
+	plain, err := Train(m, fed, theta0, Config{Eta: 0.05, T: 30, T0: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prox, err := Train(m, fed, theta0, Config{Eta: 0.05, T: 30, T0: 10, ProxMu: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainMove := plain.Theta.Dist(theta0)
+	proxMove := prox.Theta.Dist(theta0)
+	if proxMove >= plainMove {
+		t.Errorf("FedProx moved farther (%v) than FedAvg (%v) despite μ=10", proxMove, plainMove)
+	}
+}
+
+func TestFedProxStillLearns(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	theta0 := m.InitParams(rng.New(6))
+	before := globalLoss(m, fed, theta0)
+	res, err := Train(m, fed, theta0, Config{Eta: 0.05, T: 100, T0: 10, ProxMu: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := globalLoss(m, fed, res.Theta)
+	if after >= before {
+		t.Errorf("FedProx did not reduce the global loss: %v -> %v", before, after)
+	}
+}
+
+func TestTrainDivergenceDetected(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses, L2: 0.01}
+	if _, err := Train(m, fed, nil, Config{Eta: 1e200, T: 20, T0: 10}); err == nil {
+		t.Error("divergent FedAvg run reported success")
+	}
+}

@@ -1,0 +1,71 @@
+package meta
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/opt"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// TrainCentralized runs exact (sequential) meta-gradient descent on the
+// weighted objective G(θ) = Σ_i w_i L(φ_i(θ), test_i): the T0 = 1 reference
+// dynamics with perfect aggregation every step. The experiments use it to
+// estimate G(θ*) for convergence-error curves and to ablate the outer
+// update rule (any opt.Optimizer can drive the meta step; the paper's
+// algorithm corresponds to opt.SGD with LR = β).
+//
+// onIter, when non-nil, observes θ after every update. θ0 is not modified.
+func TrainCentralized(
+	m nn.Model,
+	tasks []*data.NodeDataset,
+	weights []float64,
+	theta0 tensor.Vec,
+	alpha float64,
+	optimizer opt.Optimizer,
+	iters int,
+	mode GradMode,
+	onIter func(iter int, theta tensor.Vec),
+) (tensor.Vec, error) {
+	switch {
+	case m == nil:
+		return nil, errors.New("meta: nil model")
+	case len(tasks) == 0:
+		return nil, errors.New("meta: no tasks")
+	case len(tasks) != len(weights):
+		return nil, fmt.Errorf("meta: %d tasks but %d weights", len(tasks), len(weights))
+	case optimizer == nil:
+		return nil, errors.New("meta: nil optimizer")
+	case alpha <= 0:
+		return nil, fmt.Errorf("meta: inner rate α must be positive, got %v", alpha)
+	case iters <= 0:
+		return nil, fmt.Errorf("meta: iteration count must be positive, got %d", iters)
+	case len(theta0) != m.NumParams():
+		return nil, fmt.Errorf("meta: θ0 has %d params, model needs %d", len(theta0), m.NumParams())
+	}
+	if mode == 0 {
+		mode = SecondOrder
+	}
+
+	theta := theta0.Clone()
+	grad := tensor.NewVec(len(theta))
+	for t := 1; t <= iters; t++ {
+		grad.Zero()
+		for i, task := range tasks {
+			g, _ := Grad(m, theta, task.Train, task.Test, alpha, mode)
+			grad.Axpy(weights[i], g)
+		}
+		if err := optimizer.Step(theta, grad); err != nil {
+			return nil, fmt.Errorf("meta: optimizer step %d: %w", t, err)
+		}
+		if !theta.IsFinite() {
+			return nil, fmt.Errorf("meta: centralized training diverged at iteration %d", t)
+		}
+		if onIter != nil {
+			onIter(t, theta)
+		}
+	}
+	return theta, nil
+}

@@ -1,0 +1,445 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// _bnEps is the batch-normalization variance floor.
+const _bnEps = 1e-5
+
+// MLPConfig describes a feed-forward network: Dims[0] inputs, hidden layers
+// Dims[1:len-1] (each optionally batch-normalized, then ReLU), and a final
+// linear layer producing Dims[len-1] logits. This is the Sent140 model shape
+// from §VI-A (hidden sizes 256/128/64 with batch norm and ReLU).
+type MLPConfig struct {
+	// Dims is [inputDim, hidden..., numClasses]; needs at least 2 entries.
+	Dims []int
+	// BatchNorm inserts batch normalization before each hidden ReLU.
+	BatchNorm bool
+	// L2 is an optional ridge coefficient on all parameters.
+	L2 float64
+}
+
+// MLP is a multi-layer perceptron with manual backpropagation. Batch
+// normalization uses the statistics of whatever batch is being evaluated
+// (transductive batch statistics — the convention of the original MAML
+// implementation, which keeps no running averages at meta-test time).
+type MLP struct {
+	dims      []int
+	batchNorm bool
+	l2        float64
+	numParams int
+}
+
+var _ Model = (*MLP)(nil)
+var _ InputGradienter = (*MLP)(nil)
+
+// NewMLP validates cfg and returns the model.
+func NewMLP(cfg MLPConfig) (*MLP, error) {
+	if len(cfg.Dims) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs at least input and output dims, got %v", cfg.Dims)
+	}
+	for i, d := range cfg.Dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("nn: MLP dim %d is %d, must be positive", i, d)
+		}
+	}
+	if cfg.L2 < 0 {
+		return nil, fmt.Errorf("nn: negative L2 %v", cfg.L2)
+	}
+	m := &MLP{
+		dims:      append([]int(nil), cfg.Dims...),
+		batchNorm: cfg.BatchNorm,
+		l2:        cfg.L2,
+	}
+	for l := 0; l < m.layers(); l++ {
+		m.numParams += m.dims[l+1]*m.dims[l] + m.dims[l+1]
+		if m.batchNorm && l < m.layers()-1 {
+			m.numParams += 2 * m.dims[l+1]
+		}
+	}
+	return m, nil
+}
+
+// layers returns the number of linear layers.
+func (m *MLP) layers() int { return len(m.dims) - 1 }
+
+// NumClasses returns the output dimension.
+func (m *MLP) NumClasses() int { return m.dims[len(m.dims)-1] }
+
+// Dims returns a copy of the layer dimensions [in, hidden..., classes].
+func (m *MLP) Dims() []int { return append([]int(nil), m.dims...) }
+
+// BatchNorm reports whether hidden layers are batch-normalized.
+func (m *MLP) BatchNorm() bool { return m.batchNorm }
+
+// L2 returns the ridge coefficient.
+func (m *MLP) L2() float64 { return m.l2 }
+
+// InputDim returns the input dimension.
+func (m *MLP) InputDim() int { return m.dims[0] }
+
+// NumParams implements Model.
+func (m *MLP) NumParams() int { return m.numParams }
+
+// mlpView is a set of matrix/vector windows into a flat parameter vector.
+type mlpView struct {
+	w           []*tensor.Mat
+	b           []tensor.Vec
+	gamma, beta []tensor.Vec // per hidden layer; nil without batch norm
+}
+
+func (m *MLP) view(params tensor.Vec) mlpView {
+	if len(params) != m.numParams {
+		panic(fmt.Sprintf("nn: MLP got %d params, want %d", len(params), m.numParams))
+	}
+	v := mlpView{
+		w: make([]*tensor.Mat, m.layers()),
+		b: make([]tensor.Vec, m.layers()),
+	}
+	if m.batchNorm {
+		v.gamma = make([]tensor.Vec, m.layers()-1)
+		v.beta = make([]tensor.Vec, m.layers()-1)
+	}
+	off := 0
+	take := func(n int) tensor.Vec {
+		s := params[off : off+n]
+		off += n
+		return s
+	}
+	for l := 0; l < m.layers(); l++ {
+		out, in := m.dims[l+1], m.dims[l]
+		v.w[l] = tensor.MatFromData(out, in, take(out*in))
+		v.b[l] = take(out)
+		if m.batchNorm && l < m.layers()-1 {
+			v.gamma[l] = take(out)
+			v.beta[l] = take(out)
+		}
+	}
+	return v
+}
+
+// InitParams implements Model: He initialization for weights, zero biases,
+// unit gammas, zero betas.
+func (m *MLP) InitParams(r *rng.Rand) tensor.Vec {
+	p := tensor.NewVec(m.numParams)
+	v := m.view(p)
+	for l := 0; l < m.layers(); l++ {
+		scale := math.Sqrt(2 / float64(m.dims[l]))
+		for i := range v.w[l].Data {
+			v.w[l].Data[i] = r.Norm() * scale
+		}
+		if m.batchNorm && l < m.layers()-1 {
+			v.gamma[l].Fill(1)
+		}
+	}
+	return p
+}
+
+// mlpCache stores the forward-pass intermediates needed by backprop.
+type mlpCache struct {
+	// inputs[l][j] is the input to linear layer l for sample j.
+	inputs [][]tensor.Vec
+	// z[l][j] is the linear output of hidden layer l (before BN).
+	z [][]tensor.Vec
+	// zhat[l][j] is the normalized value (BN only).
+	zhat [][]tensor.Vec
+	// preAct[l][j] is the value fed to ReLU (after BN scale/shift, or z).
+	preAct [][]tensor.Vec
+	// mean[l], istd[l] are the per-feature batch statistics of hidden
+	// layer l (BN only).
+	mean, istd []tensor.Vec
+	logits     []tensor.Vec
+}
+
+// forward runs the network on a batch; stats, when non-nil, overrides the
+// batch-normalization statistics (used by InputGrad's frozen-BN mode).
+func (m *MLP) forward(v mlpView, batch []data.Sample, frozen *bnStats) *mlpCache {
+	n := len(batch)
+	hidden := m.layers() - 1
+	c := &mlpCache{
+		inputs: make([][]tensor.Vec, m.layers()),
+		z:      make([][]tensor.Vec, hidden),
+		zhat:   make([][]tensor.Vec, hidden),
+		preAct: make([][]tensor.Vec, hidden),
+		mean:   make([]tensor.Vec, hidden),
+		istd:   make([]tensor.Vec, hidden),
+		logits: make([]tensor.Vec, n),
+	}
+	c.inputs[0] = make([]tensor.Vec, n)
+	for j, s := range batch {
+		if len(s.X) != m.dims[0] {
+			panic(fmt.Sprintf("nn: MLP input dim %d, want %d", len(s.X), m.dims[0]))
+		}
+		c.inputs[0][j] = s.X
+	}
+
+	for l := 0; l < hidden; l++ {
+		dim := m.dims[l+1]
+		c.z[l] = make([]tensor.Vec, n)
+		for j := range batch {
+			z := tensor.NewVec(dim)
+			v.w[l].MulVec(c.inputs[l][j], z)
+			z.AddInPlace(v.b[l])
+			c.z[l][j] = z
+		}
+		act := c.z[l]
+		if m.batchNorm {
+			if frozen != nil {
+				c.mean[l], c.istd[l] = frozen.mean[l], frozen.istd[l]
+			} else {
+				c.mean[l], c.istd[l] = batchStats(c.z[l], dim)
+			}
+			c.zhat[l] = make([]tensor.Vec, n)
+			c.preAct[l] = make([]tensor.Vec, n)
+			for j := range batch {
+				zh := tensor.NewVec(dim)
+				pa := tensor.NewVec(dim)
+				for f := 0; f < dim; f++ {
+					zh[f] = (c.z[l][j][f] - c.mean[l][f]) * c.istd[l][f]
+					pa[f] = v.gamma[l][f]*zh[f] + v.beta[l][f]
+				}
+				c.zhat[l][j] = zh
+				c.preAct[l][j] = pa
+			}
+			act = c.preAct[l]
+		} else {
+			c.preAct[l] = c.z[l]
+		}
+		// ReLU into the next layer's inputs.
+		c.inputs[l+1] = make([]tensor.Vec, n)
+		for j := range batch {
+			h := tensor.NewVec(dim)
+			for f, a := range act[j] {
+				if a > 0 {
+					h[f] = a
+				}
+			}
+			c.inputs[l+1][j] = h
+		}
+	}
+
+	last := m.layers() - 1
+	for j := range batch {
+		logit := tensor.NewVec(m.dims[last+1])
+		v.w[last].MulVec(c.inputs[last][j], logit)
+		logit.AddInPlace(v.b[last])
+		c.logits[j] = logit
+	}
+	return c
+}
+
+// bnStats carries frozen batch-normalization statistics.
+type bnStats struct {
+	mean, istd []tensor.Vec
+}
+
+func batchStats(zs []tensor.Vec, dim int) (mean, istd tensor.Vec) {
+	n := float64(len(zs))
+	mean = tensor.NewVec(dim)
+	for _, z := range zs {
+		mean.AddInPlace(z)
+	}
+	mean.ScaleInPlace(1 / n)
+	variance := tensor.NewVec(dim)
+	for _, z := range zs {
+		for f := 0; f < dim; f++ {
+			d := z[f] - mean[f]
+			variance[f] += d * d
+		}
+	}
+	istd = tensor.NewVec(dim)
+	for f := 0; f < dim; f++ {
+		istd[f] = 1 / math.Sqrt(variance[f]/n+_bnEps)
+	}
+	return mean, istd
+}
+
+// Loss implements Model.
+func (m *MLP) Loss(params tensor.Vec, batch []data.Sample) float64 {
+	if len(batch) == 0 {
+		return m.l2Term(params)
+	}
+	v := m.view(params)
+	c := m.forward(v, batch, nil)
+	var total float64
+	for j, s := range batch {
+		total += tensor.CrossEntropyFromLogits(c.logits[j], s.Y)
+	}
+	return total/float64(len(batch)) + m.l2Term(params)
+}
+
+func (m *MLP) l2Term(params tensor.Vec) float64 {
+	if m.l2 == 0 {
+		return 0
+	}
+	return 0.5 * m.l2 * params.Dot(params)
+}
+
+// Grad implements Model via full manual backpropagation, including the
+// gradient through the batch-normalization statistics.
+func (m *MLP) Grad(params tensor.Vec, batch []data.Sample) tensor.Vec {
+	g := tensor.NewVec(m.numParams)
+	if len(batch) > 0 {
+		v := m.view(params)
+		gv := m.view(g)
+		c := m.forward(v, batch, nil)
+		m.backward(v, gv, c, batch, nil)
+	}
+	if m.l2 != 0 {
+		g.Axpy(m.l2, params)
+	}
+	return g
+}
+
+// backward accumulates parameter gradients into gv. If dx is non-nil it also
+// accumulates the loss gradient with respect to each input sample into
+// dx[j]; in that mode BN statistics are treated as constants (frozen).
+func (m *MLP) backward(v, gv mlpView, c *mlpCache, batch []data.Sample, dx []tensor.Vec) {
+	n := len(batch)
+	invN := 1 / float64(n)
+	hidden := m.layers() - 1
+	last := m.layers() - 1
+
+	// d holds ∂loss/∂(input of layer l+1) per sample, i.e. post-ReLU grads.
+	d := make([]tensor.Vec, n)
+	probs := tensor.NewVec(m.dims[last+1])
+	for j, s := range batch {
+		tensor.Softmax(c.logits[j], probs)
+		probs[s.Y]--
+		probs.ScaleInPlace(invN)
+		gv.w[last].AddOuterInPlace(1, probs, c.inputs[last][j])
+		gv.b[last].AddInPlace(probs)
+		dj := tensor.NewVec(m.dims[last])
+		v.w[last].MulVecT(probs, dj)
+		d[j] = dj
+	}
+
+	for l := hidden - 1; l >= 0; l-- {
+		dim := m.dims[l+1]
+		// Through ReLU: dy[j] = d[j] ∘ 1[preAct > 0].
+		dy := d
+		for j := 0; j < n; j++ {
+			pa := c.preAct[l][j]
+			for f := 0; f < dim; f++ {
+				if pa[f] <= 0 {
+					dy[j][f] = 0
+				}
+			}
+		}
+
+		var dz []tensor.Vec
+		if m.batchNorm {
+			// Through the affine BN parameters.
+			dzhat := make([]tensor.Vec, n)
+			for j := 0; j < n; j++ {
+				dzh := tensor.NewVec(dim)
+				for f := 0; f < dim; f++ {
+					gv.gamma[l][f] += dy[j][f] * c.zhat[l][j][f]
+					gv.beta[l][f] += dy[j][f]
+					dzh[f] = dy[j][f] * v.gamma[l][f]
+				}
+				dzhat[j] = dzh
+			}
+			if dx != nil {
+				// Frozen statistics: dz = dzhat * istd.
+				dz = dzhat
+				for j := 0; j < n; j++ {
+					for f := 0; f < dim; f++ {
+						dz[j][f] *= c.istd[l][f]
+					}
+				}
+			} else {
+				dz = bnBackward(dzhat, c.z[l], c.mean[l], c.istd[l])
+			}
+		} else {
+			dz = dy
+		}
+
+		for j := 0; j < n; j++ {
+			gv.w[l].AddOuterInPlace(1, dz[j], c.inputs[l][j])
+			gv.b[l].AddInPlace(dz[j])
+			prev := tensor.NewVec(m.dims[l])
+			v.w[l].MulVecT(dz[j], prev)
+			d[j] = prev
+		}
+	}
+
+	if dx != nil {
+		for j := 0; j < n; j++ {
+			dx[j] = d[j]
+		}
+	}
+}
+
+// bnBackward propagates gradients through batch normalization, including the
+// dependence of the batch mean and variance on every sample.
+func bnBackward(dzhat, z []tensor.Vec, mean, istd tensor.Vec) []tensor.Vec {
+	n := len(dzhat)
+	dim := len(mean)
+	invN := 1 / float64(n)
+
+	sumDzhat := tensor.NewVec(dim)
+	sumDzhatZc := tensor.NewVec(dim) // Σ_j dzhat_j ∘ (z_j − mean)
+	for j := 0; j < n; j++ {
+		for f := 0; f < dim; f++ {
+			sumDzhat[f] += dzhat[j][f]
+			sumDzhatZc[f] += dzhat[j][f] * (z[j][f] - mean[f])
+		}
+	}
+
+	dz := make([]tensor.Vec, n)
+	for j := 0; j < n; j++ {
+		dj := tensor.NewVec(dim)
+		for f := 0; f < dim; f++ {
+			zc := z[j][f] - mean[f]
+			// Standard BN backward:
+			// dz = istd*(dzhat − mean(dzhat) − zhat*mean(dzhat∘zhat_like))
+			dj[f] = istd[f] * (dzhat[j][f] - invN*sumDzhat[f] - zc*istd[f]*istd[f]*invN*sumDzhatZc[f])
+		}
+		dz[j] = dj
+	}
+	return dz
+}
+
+// InputGrad implements InputGradienter. For batch-normalized networks the
+// statistics are taken from ctx and frozen (constant w.r.t. x); without
+// batch norm the result is the exact per-sample input gradient and ctx is
+// ignored.
+func (m *MLP) InputGrad(params tensor.Vec, s data.Sample, ctx []data.Sample) tensor.Vec {
+	v := m.view(params)
+	var frozen *bnStats
+	if m.batchNorm {
+		if len(ctx) == 0 {
+			ctx = []data.Sample{s}
+		}
+		ref := m.forward(v, ctx, nil)
+		frozen = &bnStats{mean: ref.mean, istd: ref.istd}
+	}
+	batch := []data.Sample{s}
+	c := m.forward(v, batch, frozen)
+	gv := m.view(tensor.NewVec(m.numParams)) // scratch; parameter grads discarded
+	dx := make([]tensor.Vec, 1)
+	m.backward(v, gv, c, batch, dx)
+	return dx[0]
+}
+
+// PredictBatch implements Model, using transductive batch statistics for
+// batch-normalized networks.
+func (m *MLP) PredictBatch(params tensor.Vec, batch []data.Sample) []int {
+	if len(batch) == 0 {
+		return nil
+	}
+	v := m.view(params)
+	c := m.forward(v, batch, nil)
+	preds := make([]int, len(batch))
+	for j := range batch {
+		preds[j] = c.logits[j].ArgMax()
+	}
+	return preds
+}

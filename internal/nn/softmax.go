@@ -1,0 +1,194 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// SoftmaxRegression is multinomial logistic regression with cross-entropy
+// loss and optional L2 regularization:
+//
+//	l(θ, (x, y)) = −log softmax(Wx + b)[y] + (λ₂/2)‖θ‖².
+//
+// With λ₂ > 0 the empirical loss is λ₂-strongly convex, matching
+// Assumption 1 of the paper; it is H-smooth with H ≤ ‖x‖²/2 + λ₂.
+// Parameters are laid out as the row-major C×In weight matrix followed by
+// the C bias entries.
+type SoftmaxRegression struct {
+	// In is the input dimension; Classes the number of labels.
+	In, Classes int
+	// L2 is the λ₂ regularization coefficient (may be zero).
+	L2 float64
+	// InitScale is the standard deviation of the weight initialization
+	// (biases start at zero). Zero means 0.01.
+	InitScale float64
+}
+
+var (
+	_ Model           = (*SoftmaxRegression)(nil)
+	_ HVPComputer     = (*SoftmaxRegression)(nil)
+	_ InputGradienter = (*SoftmaxRegression)(nil)
+)
+
+// NumParams implements Model.
+func (m *SoftmaxRegression) NumParams() int { return m.Classes*m.In + m.Classes }
+
+// InitParams implements Model.
+func (m *SoftmaxRegression) InitParams(r *rng.Rand) tensor.Vec {
+	scale := m.InitScale
+	if scale == 0 {
+		scale = 0.01
+	}
+	p := tensor.NewVec(m.NumParams())
+	for i := 0; i < m.Classes*m.In; i++ {
+		p[i] = r.Norm() * scale
+	}
+	return p
+}
+
+// view splits the flat parameter vector into the weight matrix and bias,
+// aliasing the underlying storage.
+func (m *SoftmaxRegression) view(params tensor.Vec) (*tensor.Mat, tensor.Vec) {
+	if len(params) != m.NumParams() {
+		panic(fmt.Sprintf("nn: SoftmaxRegression got %d params, want %d", len(params), m.NumParams()))
+	}
+	w := tensor.MatFromData(m.Classes, m.In, params[:m.Classes*m.In])
+	b := params[m.Classes*m.In:]
+	return w, b
+}
+
+// probs computes softmax(Wx+b) into out.
+func (m *SoftmaxRegression) probs(w *tensor.Mat, b tensor.Vec, x tensor.Vec, out tensor.Vec) {
+	w.MulVec(x, out)
+	out.AddInPlace(b)
+	tensor.Softmax(out, out)
+}
+
+// Loss implements Model.
+func (m *SoftmaxRegression) Loss(params tensor.Vec, batch []data.Sample) float64 {
+	w, b := m.view(params)
+	if len(batch) == 0 {
+		return m.l2Term(params)
+	}
+	logits := tensor.NewVec(m.Classes)
+	var total float64
+	for _, s := range batch {
+		w.MulVec(s.X, logits)
+		logits.AddInPlace(b)
+		total += tensor.CrossEntropyFromLogits(logits, s.Y)
+	}
+	return total/float64(len(batch)) + m.l2Term(params)
+}
+
+func (m *SoftmaxRegression) l2Term(params tensor.Vec) float64 {
+	if m.L2 == 0 {
+		return 0
+	}
+	return 0.5 * m.L2 * params.Dot(params)
+}
+
+// Grad implements Model.
+func (m *SoftmaxRegression) Grad(params tensor.Vec, batch []data.Sample) tensor.Vec {
+	w, b := m.view(params)
+	g := tensor.NewVec(m.NumParams())
+	gw, gb := m.view(g)
+	if len(batch) > 0 {
+		inv := 1 / float64(len(batch))
+		p := tensor.NewVec(m.Classes)
+		for _, s := range batch {
+			m.probs(w, b, s.X, p)
+			p[s.Y]--
+			gw.AddOuterInPlace(inv, p, s.X)
+			gb.Axpy(inv, p)
+		}
+	}
+	if m.L2 != 0 {
+		g.Axpy(m.L2, params)
+	}
+	return g
+}
+
+// HVP implements HVPComputer: the exact Hessian-vector product of the
+// softmax cross-entropy. For a single sample with probabilities p and
+// perturbation direction (V, v), let u = Vx + v; then
+// ∇²l · (V, v) = ((p∘u − p(pᵀu)) xᵀ, p∘u − p(pᵀu)).
+func (m *SoftmaxRegression) HVP(params tensor.Vec, batch []data.Sample, v tensor.Vec) tensor.Vec {
+	w, b := m.view(params)
+	if len(v) != m.NumParams() {
+		panic(fmt.Sprintf("nn: HVP direction has %d entries, want %d", len(v), m.NumParams()))
+	}
+	vw := tensor.MatFromData(m.Classes, m.In, v[:m.Classes*m.In])
+	vb := v[m.Classes*m.In:]
+
+	out := tensor.NewVec(m.NumParams())
+	ow, ob := m.view(out)
+	if len(batch) > 0 {
+		inv := 1 / float64(len(batch))
+		p := tensor.NewVec(m.Classes)
+		u := tensor.NewVec(m.Classes)
+		a := tensor.NewVec(m.Classes)
+		for _, s := range batch {
+			m.probs(w, b, s.X, p)
+			vw.MulVec(s.X, u)
+			u.AddInPlace(vb)
+			pu := p.Dot(u)
+			for c := range a {
+				a[c] = p[c]*u[c] - p[c]*pu
+			}
+			ow.AddOuterInPlace(inv, a, s.X)
+			ob.Axpy(inv, a)
+		}
+	}
+	if m.L2 != 0 {
+		out.Axpy(m.L2, v)
+	}
+	return out
+}
+
+// InputGrad implements InputGradienter: ∇_x l(θ, (x, y)) = Wᵀ(p − e_y).
+// The ctx batch is unused (softmax regression has no batch statistics).
+func (m *SoftmaxRegression) InputGrad(params tensor.Vec, s data.Sample, _ []data.Sample) tensor.Vec {
+	w, b := m.view(params)
+	p := tensor.NewVec(m.Classes)
+	m.probs(w, b, s.X, p)
+	p[s.Y]--
+	out := tensor.NewVec(m.In)
+	w.MulVecT(p, out)
+	return out
+}
+
+// PredictBatch implements Model.
+func (m *SoftmaxRegression) PredictBatch(params tensor.Vec, batch []data.Sample) []int {
+	w, b := m.view(params)
+	preds := make([]int, len(batch))
+	logits := tensor.NewVec(m.Classes)
+	for i, s := range batch {
+		w.MulVec(s.X, logits)
+		logits.AddInPlace(b)
+		preds[i] = logits.ArgMax()
+	}
+	return preds
+}
+
+// SmoothnessUpperBound returns a data-dependent upper bound on the
+// H-smoothness constant of the empirical loss over batch: the softmax
+// cross-entropy Hessian satisfies ‖∇²l‖ ≤ ‖x̃‖²/2 + λ₂ where x̃ = (x, 1).
+// The theory package uses it to pick admissible learning rates.
+func (m *SoftmaxRegression) SmoothnessUpperBound(batch []data.Sample) float64 {
+	var maxSq float64
+	for _, s := range batch {
+		sq := s.X.Dot(s.X) + 1
+		if sq > maxSq {
+			maxSq = sq
+		}
+	}
+	return maxSq/2 + m.L2
+}
+
+// StrongConvexity returns the strong-convexity modulus μ = λ₂ of the
+// regularized loss (0 when unregularized).
+func (m *SoftmaxRegression) StrongConvexity() float64 { return math.Max(m.L2, 0) }

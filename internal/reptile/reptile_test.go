@@ -1,0 +1,140 @@
+package reptile
+
+import (
+	"testing"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/eval"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+func tinyFederation(t *testing.T) (*data.Federation, *nn.SoftmaxRegression) {
+	t.Helper()
+	cfg := data.DefaultSyntheticConfig(0.5, 0.5)
+	cfg.Nodes = 10
+	cfg.Dim = 10
+	cfg.Classes = 4
+	cfg.MeanSamples = 20
+	cfg.Seed = 11
+	fed, err := data.GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed, &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses, L2: 0.01}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{InnerLR: 0.1, MetaLR: 0.5, InnerSteps: 3, Rounds: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{InnerLR: 0, MetaLR: 0.5, InnerSteps: 3, Rounds: 5},
+		{InnerLR: 0.1, MetaLR: 0, InnerSteps: 3, Rounds: 5},
+		{InnerLR: 0.1, MetaLR: 1.5, InnerSteps: 3, Rounds: 5},
+		{InnerLR: 0.1, MetaLR: 0.5, InnerSteps: 0, Rounds: 5},
+		{InnerLR: 0.1, MetaLR: 0.5, InnerSteps: 3, Rounds: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTrainImprovesMetaObjective(t *testing.T) {
+	fed, m := tinyFederation(t)
+	theta0 := m.InitParams(rng.New(1))
+	const alpha = 0.05
+	before := eval.GlobalMetaObjective(m, fed, alpha, theta0)
+	res, err := Train(m, fed, theta0, Config{InnerLR: alpha, MetaLR: 0.5, InnerSteps: 3, Rounds: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := eval.GlobalMetaObjective(m, fed, alpha, res.Theta)
+	if after >= before {
+		t.Errorf("Reptile did not improve the meta-objective: %v -> %v", before, after)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	fed, m := tinyFederation(t)
+	cfg := Config{InnerLR: 0.05, MetaLR: 0.5, InnerSteps: 3, Rounds: 10, Seed: 2}
+	a, err := Train(m, fed, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(m, fed, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Theta.Dist(b.Theta) != 0 {
+		t.Error("Reptile is not deterministic")
+	}
+}
+
+func TestMetaLROneInterpolatesFully(t *testing.T) {
+	// With ε = 1 the new θ is exactly the weighted average of the adapted
+	// parameters.
+	fed, m := tinyFederation(t)
+	theta0 := m.InitParams(rng.New(3))
+	res, err := Train(m, fed, theta0, Config{InnerLR: 0.05, MetaLR: 1, InnerSteps: 2, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := fed.Weights()
+	adapted := make([]tensor.Vec, len(fed.Sources))
+	for i, nd := range fed.Sources {
+		phi := theta0.Clone()
+		for s := 0; s < 2; s++ {
+			phi.Axpy(-0.05, m.Grad(phi, nd.Train))
+		}
+		adapted[i] = phi
+	}
+	want := tensor.WeightedSum(weights, adapted)
+	if res.Theta.Dist(want) > 1e-12 {
+		t.Errorf("ε=1 round does not match weighted average (dist %v)", res.Theta.Dist(want))
+	}
+}
+
+func TestOnRoundCallback(t *testing.T) {
+	fed, m := tinyFederation(t)
+	var rounds []int
+	cfg := Config{InnerLR: 0.05, MetaLR: 0.5, InnerSteps: 2, Rounds: 3,
+		OnRound: func(round int, theta tensor.Vec) { rounds = append(rounds, round) }}
+	if _, err := Train(m, fed, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 3 || rounds[2] != 3 {
+		t.Errorf("callback rounds = %v", rounds)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	fed, m := tinyFederation(t)
+	okCfg := Config{InnerLR: 0.05, MetaLR: 0.5, InnerSteps: 2, Rounds: 2}
+	if _, err := Train(nil, fed, nil, okCfg); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Train(m, nil, nil, okCfg); err == nil {
+		t.Error("nil federation accepted")
+	}
+	if _, err := Train(m, &data.Federation{}, nil, okCfg); err == nil {
+		t.Error("empty federation accepted")
+	}
+	if _, err := Train(m, fed, tensor.NewVec(1), okCfg); err == nil {
+		t.Error("bad theta0 accepted")
+	}
+	if _, err := Train(m, fed, nil, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestTrainDivergenceDetected(t *testing.T) {
+	fed, m := tinyFederation(t)
+	if _, err := Train(m, fed, nil, Config{InnerLR: 1e200, MetaLR: 1, InnerSteps: 3, Rounds: 2}); err == nil {
+		t.Error("divergent run reported success")
+	}
+}

@@ -1,0 +1,142 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator used throughout the repository.
+//
+// Every experiment in the paper reproduction must be bit-for-bit reproducible
+// from a single seed, across Go versions and across machines. The standard
+// library's math/rand does not guarantee a stable stream across Go releases,
+// so we implement our own generator: a SplitMix64 seeder feeding an
+// xoshiro256** state, with support for deriving independent child streams
+// (one per edge node) from a parent stream.
+package rng
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator.
+//
+// The zero value is not usable; construct with New. Rand is not safe for
+// concurrent use; derive one generator per goroutine with Split.
+type Rand struct {
+	s [4]uint64
+
+	// cached spare normal variate for the polar method.
+	hasSpare bool
+	spare    float64
+}
+
+// New returns a generator seeded from seed via SplitMix64, so that nearby
+// seeds still produce decorrelated streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro's all-zero state is degenerate; SplitMix64 cannot emit four
+	// zeros in a row, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives an independent child generator. The child stream is a pure
+// function of the parent state and id, so splitting the same parent with the
+// same id always yields the same stream; the parent is not advanced.
+func (r *Rand) Split(id uint64) *Rand {
+	return New(r.s[0] ^ (r.s[2] * 0x9e3779b97f4a7c15) ^ (id+1)*0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits (xoshiro256**).
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// IntN returns a uniform integer in [0, n). n must be positive.
+func (r *Rand) IntN(n int) int {
+	if n <= 0 {
+		panic("rng: IntN called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// modulo bias at n << 2^64 is negligible for simulation workloads, but
+	// we still reject the biased tail to keep streams principled.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Norm returns a standard normal variate via the Marsaglia polar method.
+func (r *Rand) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// NormMeanStd returns a normal variate with the given mean and standard
+// deviation.
+func (r *Rand) NormMeanStd(mean, std float64) float64 {
+	return mean + std*r.Norm()
+}
+
+// LogNormal returns exp(N(mu, sigma^2)). Used for power-law-like per-node
+// sample counts (the paper draws node sizes from a power law).
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Norm())
+}
+
+// Perm returns a random permutation of [0, n) via Fisher-Yates.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,92 @@
+package tensor
+
+import "fmt"
+
+// Mat is a dense row-major matrix of float64.
+type Mat struct {
+	Rows, Cols int
+	Data       Vec // len == Rows*Cols, row-major
+}
+
+// NewMat returns a zero matrix with the given shape.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewMat with negative shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make(Vec, rows*cols)}
+}
+
+// MatFromData wraps data (not copied) as a rows x cols matrix.
+func MatFromData(rows, cols int, data Vec) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: MatFromData %dx%d needs %d values, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) Vec { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	return &Mat{Rows: m.Rows, Cols: m.Cols, Data: m.Data.Clone()}
+}
+
+// MulVec computes out = m * x. out must have length m.Rows and x length
+// m.Cols; out may not alias x.
+func (m *Mat) MulVec(x, out Vec) {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		panic(fmt.Sprintf("tensor: MulVec shape mismatch: %dx%d by %d into %d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, r := range row {
+			s += r * x[j]
+		}
+		out[i] = s
+	}
+}
+
+// MulVecT computes out = mᵀ * x. out must have length m.Cols and x length
+// m.Rows; out is overwritten and may not alias x.
+func (m *Mat) MulVecT(x, out Vec) {
+	if len(x) != m.Rows || len(out) != m.Cols {
+		panic(fmt.Sprintf("tensor: MulVecT shape mismatch: %dx%d ᵀ by %d into %d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	out.Zero()
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, r := range row {
+			out[j] += r * xi
+		}
+	}
+}
+
+// AddOuterInPlace adds c * x yᵀ to m. len(x) must be m.Rows, len(y) m.Cols.
+// This is the rank-1 update used by linear-layer weight gradients.
+func (m *Mat) AddOuterInPlace(c float64, x, y Vec) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddOuterInPlace shape mismatch: %dx%d with %d,%d", m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		cxi := c * x[i]
+		if cxi == 0 {
+			continue
+		}
+		for j := range row {
+			row[j] += cxi * y[j]
+		}
+	}
+}

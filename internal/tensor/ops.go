@@ -1,0 +1,87 @@
+package tensor
+
+import "math"
+
+// Softmax writes the softmax of logits into out (which may alias logits).
+// The computation is shifted by the max logit for numerical stability.
+func Softmax(logits, out Vec) {
+	checkLen("Softmax", logits, out)
+	if len(logits) == 0 {
+		return
+	}
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// LogSumExp returns log(sum_i exp(v[i])) computed stably.
+func LogSumExp(v Vec) float64 {
+	if len(v) == 0 {
+		return math.Inf(-1)
+	}
+	maxv := v[0]
+	for _, x := range v[1:] {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	if math.IsInf(maxv, -1) {
+		return maxv
+	}
+	var sum float64
+	for _, x := range v {
+		sum += math.Exp(x - maxv)
+	}
+	return maxv + math.Log(sum)
+}
+
+// CrossEntropyFromLogits returns -log softmax(logits)[label], computed
+// stably without materializing the softmax.
+func CrossEntropyFromLogits(logits Vec, label int) float64 {
+	return LogSumExp(logits) - logits[label]
+}
+
+// Clamp returns x restricted to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}
+
+// ClampInPlace clamps every element of v to [lo, hi]. Used to keep
+// adversarially-perturbed feature vectors inside the valid input domain.
+func (v Vec) ClampInPlace(lo, hi float64) {
+	for i := range v {
+		v[i] = Clamp(v[i], lo, hi)
+	}
+}
+
+// Sign returns -1, 0 or +1 matching the sign of x. Used by the FGSM attack.
+func Sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}

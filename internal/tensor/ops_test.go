@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftmaxBasic(t *testing.T) {
+	out := NewVec(3)
+	Softmax(Vec{0, 0, 0}, out)
+	for _, p := range out {
+		if !almostEq(p, 1.0/3, 1e-12) {
+			t.Fatalf("uniform softmax = %v", out)
+		}
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	out := NewVec(2)
+	Softmax(Vec{1000, 1001}, out)
+	if !out.IsFinite() {
+		t.Fatalf("softmax overflowed: %v", out)
+	}
+	if !almostEq(out.Sum(), 1, 1e-9) {
+		t.Errorf("softmax sums to %v", out.Sum())
+	}
+	if out[1] <= out[0] {
+		t.Error("softmax ordering violated")
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	// Properties: output in (0,1], sums to 1, shift-invariant.
+	check := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make(Vec, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			v[i] = math.Mod(x, 50) // keep magnitudes sane
+		}
+		out := NewVec(len(v))
+		Softmax(v, out)
+		if !almostEq(out.Sum(), 1, 1e-9) {
+			return false
+		}
+		for _, p := range out {
+			if p < 0 || p > 1 {
+				return false
+			}
+		}
+		shifted := v.Clone()
+		for i := range shifted {
+			shifted[i] += 13.7
+		}
+		out2 := NewVec(len(v))
+		Softmax(shifted, out2)
+		for i := range out {
+			if !almostEq(out[i], out2[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxInPlaceAlias(t *testing.T) {
+	v := Vec{1, 2, 3}
+	Softmax(v, v)
+	if !almostEq(v.Sum(), 1, 1e-9) {
+		t.Errorf("aliased softmax = %v", v)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if got := LogSumExp(Vec{0, 0}); !almostEq(got, math.Log(2), 1e-12) {
+		t.Errorf("LogSumExp([0,0]) = %v, want log 2", got)
+	}
+	if got := LogSumExp(Vec{1000, 1000}); !almostEq(got, 1000+math.Log(2), 1e-9) {
+		t.Errorf("LogSumExp large = %v", got)
+	}
+	if got := LogSumExp(Vec{}); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(empty) = %v, want -Inf", got)
+	}
+}
+
+func TestCrossEntropyFromLogits(t *testing.T) {
+	// Uniform logits over k classes => loss = log k.
+	if got := CrossEntropyFromLogits(Vec{0, 0, 0, 0}, 1); !almostEq(got, math.Log(4), 1e-12) {
+		t.Errorf("CE uniform = %v, want log 4", got)
+	}
+	// Confident correct prediction => loss near 0.
+	if got := CrossEntropyFromLogits(Vec{100, 0}, 0); got > 1e-9 {
+		t.Errorf("CE confident = %v, want ~0", got)
+	}
+	// Confident wrong prediction => large loss.
+	if got := CrossEntropyFromLogits(Vec{100, 0}, 1); got < 50 {
+		t.Errorf("CE wrong = %v, want large", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+	v := Vec{-2, 0.5, 2}
+	v.ClampInPlace(0, 1)
+	if v[0] != 0 || v[1] != 0.5 || v[2] != 1 {
+		t.Errorf("ClampInPlace = %v", v)
+	}
+}
+
+func TestSign(t *testing.T) {
+	if Sign(3) != 1 || Sign(-0.1) != -1 || Sign(0) != 0 {
+		t.Error("Sign misbehaves")
+	}
+}
+
+func BenchmarkSoftmax64(b *testing.B) {
+	v := NewVec(64)
+	for i := range v {
+		v[i] = float64(i % 7)
+	}
+	out := NewVec(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(v, out)
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	m := NewMat(64, 64)
+	x, out := NewVec(64), NewVec(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x, out)
+	}
+}

@@ -1,0 +1,212 @@
+// Package tensor implements the dense linear-algebra substrate used by the
+// models, the meta-learning machinery and the federated runtime.
+//
+// Model parameters are represented as flat Vec values so that weighted
+// aggregation at the platform, wire transport, and the theory checks are all
+// model-agnostic. Mat provides the small dense-matrix kernels needed by the
+// data generators and by softmax regression.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense vector of float64. The zero value is an empty vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// CopyFrom copies src into v. The lengths must match.
+func (v Vec) CopyFrom(src Vec) {
+	if len(v) != len(src) {
+		panic(fmt.Sprintf("tensor: CopyFrom length mismatch %d != %d", len(v), len(src)))
+	}
+	copy(v, src)
+}
+
+// Zero sets every element of v to 0.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to c.
+func (v Vec) Fill(c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Add returns v + w as a new vector.
+func (v Vec) Add(w Vec) Vec {
+	checkLen("Add", v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w as a new vector.
+func (v Vec) Sub(w Vec) Vec {
+	checkLen("Sub", v, w)
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// AddInPlace sets v = v + w.
+func (v Vec) AddInPlace(w Vec) {
+	checkLen("AddInPlace", v, w)
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// SubInPlace sets v = v - w.
+func (v Vec) SubInPlace(w Vec) {
+	checkLen("SubInPlace", v, w)
+	for i := range v {
+		v[i] -= w[i]
+	}
+}
+
+// Scale returns c*v as a new vector.
+func (v Vec) Scale(c float64) Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = c * v[i]
+	}
+	return out
+}
+
+// ScaleInPlace sets v = c*v.
+func (v Vec) ScaleInPlace(c float64) {
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// Axpy sets v = v + c*w (BLAS axpy).
+func (v Vec) Axpy(c float64, w Vec) {
+	checkLen("Axpy", v, w)
+	for i := range v {
+		v[i] += c * w[i]
+	}
+}
+
+// Dot returns the inner product <v, w>.
+func (v Vec) Dot(w Vec) float64 {
+	checkLen("Dot", v, w)
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vec) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormInf returns the max-absolute-value norm of v.
+func (v Vec) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Dist returns the Euclidean distance ||v - w||.
+func (v Vec) Dist(w Vec) float64 {
+	checkLen("Dist", v, w)
+	var s float64
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of the elements of v.
+func (v Vec) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty vector.
+func (v Vec) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// ArgMax returns the index of the largest element (first on ties), or -1 for
+// an empty vector.
+func (v Vec) ArgMax() int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// IsFinite reports whether every element is finite (no NaN or Inf).
+func (v Vec) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// WeightedSum returns sum_i weights[i]*vs[i] as a new vector. All vectors
+// must share one length; len(weights) must equal len(vs). This is the
+// platform's global-aggregation kernel (Eq. 5 in the paper).
+func WeightedSum(weights []float64, vs []Vec) Vec {
+	if len(weights) != len(vs) {
+		panic(fmt.Sprintf("tensor: WeightedSum got %d weights for %d vectors", len(weights), len(vs)))
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make(Vec, len(vs[0]))
+	for k, v := range vs {
+		checkLen("WeightedSum", out, v)
+		w := weights[k]
+		for i := range v {
+			out[i] += w * v[i]
+		}
+	}
+	return out
+}
+
+func checkLen(op string, a, b Vec) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: %s length mismatch %d != %d", op, len(a), len(b)))
+	}
+}

@@ -1,0 +1,190 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecBasicOps(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+
+	if got := v.Add(w); got[0] != 5 || got[1] != 7 || got[2] != 9 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got[0] != -3 || got[1] != -3 || got[2] != -3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := v.Sum(); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	if got := v.Mean(); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := w.ArgMax(); got != 2 {
+		t.Errorf("ArgMax = %v, want 2", got)
+	}
+}
+
+func TestVecInPlaceOps(t *testing.T) {
+	v := Vec{1, 2, 3}
+	v.AddInPlace(Vec{1, 1, 1})
+	if v[0] != 2 || v[2] != 4 {
+		t.Errorf("AddInPlace = %v", v)
+	}
+	v.SubInPlace(Vec{2, 2, 2})
+	if v[0] != 0 || v[2] != 2 {
+		t.Errorf("SubInPlace = %v", v)
+	}
+	v.ScaleInPlace(3)
+	if v[1] != 3 {
+		t.Errorf("ScaleInPlace = %v", v)
+	}
+	v.Axpy(2, Vec{1, 1, 1})
+	if v[0] != 2 || v[1] != 5 {
+		t.Errorf("Axpy = %v", v)
+	}
+	v.Fill(7)
+	if v[0] != 7 || v[2] != 7 {
+		t.Errorf("Fill = %v", v)
+	}
+	v.Zero()
+	if v.Sum() != 0 {
+		t.Errorf("Zero = %v", v)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := Vec{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestNormAndDist(t *testing.T) {
+	v := Vec{3, 4}
+	if !almostEq(v.Norm(), 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", v.Norm())
+	}
+	if !almostEq(v.Dist(Vec{0, 0}), 5, 1e-12) {
+		t.Errorf("Dist = %v, want 5", v.Dist(Vec{0, 0}))
+	}
+	if got := (Vec{-7, 2}).NormInf(); got != 7 {
+		t.Errorf("NormInf = %v, want 7", got)
+	}
+}
+
+func TestArgMaxEdgeCases(t *testing.T) {
+	if got := (Vec{}).ArgMax(); got != -1 {
+		t.Errorf("empty ArgMax = %d, want -1", got)
+	}
+	if got := (Vec{1, 1, 1}).ArgMax(); got != 0 {
+		t.Errorf("tie ArgMax = %d, want 0 (first)", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Vec{1, 2}).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vec{1, math.NaN()}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vec{math.Inf(1)}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	got := WeightedSum([]float64{0.25, 0.75}, []Vec{{4, 0}, {0, 4}})
+	if !almostEq(got[0], 1, 1e-12) || !almostEq(got[1], 3, 1e-12) {
+		t.Errorf("WeightedSum = %v, want [1 3]", got)
+	}
+	if WeightedSum(nil, nil) != nil {
+		t.Error("empty WeightedSum should be nil")
+	}
+}
+
+func TestWeightedSumConvexCombinationProperty(t *testing.T) {
+	// Property: a convex combination of identical vectors is that vector.
+	check := func(raw []float64, w8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := Vec(raw)
+		n := int(w8%4) + 1
+		weights := make([]float64, n)
+		vs := make([]Vec, n)
+		for i := range weights {
+			weights[i] = 1 / float64(n)
+			vs[i] = v
+		}
+		got := WeightedSum(weights, vs)
+		for i := range got {
+			if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+				continue
+			}
+			if !almostEq(got[i], v[i], 1e-9*(1+math.Abs(v[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotCauchySchwarzProperty(t *testing.T) {
+	// Property: |<v,w>| <= ||v||*||w||.
+	check := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		v, w := Vec(a[:n]), Vec(b[:n])
+		if !v.IsFinite() || !w.IsFinite() {
+			return true
+		}
+		lhs := math.Abs(v.Dot(w))
+		rhs := v.Norm() * w.Norm()
+		return lhs <= rhs*(1+1e-9) || math.IsInf(rhs, 1)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Add", func() { _ = (Vec{1}).Add(Vec{1, 2}) }},
+		{"Dot", func() { _ = (Vec{1}).Dot(Vec{1, 2}) }},
+		{"Axpy", func() { (Vec{1}).Axpy(1, Vec{1, 2}) }},
+		{"CopyFrom", func() { (Vec{1}).CopyFrom(Vec{1, 2}) }},
+		{"WeightedSum", func() { WeightedSum([]float64{1}, []Vec{{1}, {2}}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

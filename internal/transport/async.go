@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrTimeout reports that an Async operation exceeded its deadline.
+var ErrTimeout = errors.New("transport: operation timed out")
+
+// Async wraps a Link with goroutine-pumped, buffered I/O so a caller can
+// impose per-operation deadlines without ever blocking on a dead or slow
+// peer. The platform uses it for fault-tolerant rounds: a straggler that
+// misses the round deadline is dropped instead of stalling the federation.
+type Async struct {
+	link  Link
+	sendQ chan Msg
+	recvQ chan Msg
+	errc  chan error
+	done  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+}
+
+// NewAsync starts the I/O pumps for link with the given queue depth per
+// direction. Close stops the pumps and closes the underlying link.
+func NewAsync(link Link, queue int) *Async {
+	if queue < 1 {
+		queue = 1
+	}
+	a := &Async{
+		link:  link,
+		sendQ: make(chan Msg, queue),
+		recvQ: make(chan Msg, queue),
+		errc:  make(chan error, 2), // one slot per pump
+		done:  make(chan struct{}),
+	}
+	a.wg.Add(2)
+	go a.sendLoop()
+	go a.recvLoop()
+	return a
+}
+
+func (a *Async) sendLoop() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.done:
+			return
+		case m := <-a.sendQ:
+			if err := a.link.Send(m); err != nil {
+				a.reportErr(err)
+				return
+			}
+		}
+	}
+}
+
+func (a *Async) recvLoop() {
+	defer a.wg.Done()
+	for {
+		m, err := a.link.Recv()
+		if err != nil {
+			a.reportErr(err)
+			return
+		}
+		select {
+		case <-a.done:
+			return
+		case a.recvQ <- m:
+		}
+	}
+}
+
+func (a *Async) reportErr(err error) {
+	select {
+	case a.errc <- err:
+	default:
+	}
+}
+
+// TrySend enqueues m, waiting at most timeout for queue space. It returns
+// ErrTimeout on deadline, or the pump's error if the link has failed.
+// Close takes priority over free queue space (a queued message would never
+// be sent once the pumps have stopped).
+func (a *Async) TrySend(m Msg, timeout time.Duration) error {
+	select {
+	case <-a.done:
+		return ErrClosed
+	default:
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case a.sendQ <- m:
+		return nil
+	case err := <-a.errc:
+		a.reportErr(err) // keep it observable for later calls
+		return err
+	case <-a.done:
+		return ErrClosed
+	case <-timer.C:
+		return ErrTimeout
+	}
+}
+
+// TryRecv waits at most timeout for an inbound message. Messages already
+// queued are delivered even if the link has since closed.
+func (a *Async) TryRecv(timeout time.Duration) (Msg, error) {
+	select {
+	case m := <-a.recvQ:
+		return m, nil
+	default:
+	}
+	select {
+	case <-a.done:
+		return Msg{}, ErrClosed
+	default:
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m := <-a.recvQ:
+		return m, nil
+	case err := <-a.errc:
+		a.reportErr(err)
+		return Msg{}, err
+	case <-a.done:
+		return Msg{}, ErrClosed
+	case <-timer.C:
+		return Msg{}, ErrTimeout
+	}
+}
+
+// Close stops the pumps and closes the underlying link. It is idempotent
+// and waits for the pump goroutines to exit.
+func (a *Async) Close() error {
+	var err error
+	a.once.Do(func() {
+		close(a.done)
+		err = a.link.Close()
+		a.wg.Wait()
+	})
+	return err
+}

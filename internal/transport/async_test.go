@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAsyncRoundTrip(t *testing.T) {
+	p, n := Pair()
+	a := NewAsync(p, 2)
+	defer a.Close()
+	defer n.Close()
+
+	go func() {
+		m, err := n.Recv()
+		if err != nil {
+			return
+		}
+		m.Round++
+		_ = n.Send(m)
+	}()
+
+	if err := a.TrySend(Msg{Kind: KindParams, Round: 1}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.TryRecv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 2 {
+		t.Errorf("round = %d, want 2", got.Round)
+	}
+}
+
+func TestAsyncRecvTimeoutOnSilentPeer(t *testing.T) {
+	p, n := Pair()
+	a := NewAsync(p, 1)
+	defer a.Close()
+	defer n.Close()
+
+	start := time.Now()
+	_, err := a.TryRecv(30 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("timeout took %v", elapsed)
+	}
+}
+
+func TestAsyncSendTimeoutWhenPeerNotReceiving(t *testing.T) {
+	p, n := Pair()
+	a := NewAsync(p, 1)
+	defer a.Close()
+	defer n.Close()
+
+	// First send fills the queue (pump blocks on the unbuffered pipe since
+	// the peer never calls Recv); second send must time out.
+	if err := a.TrySend(Msg{Round: 1}, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadlineHit := false
+	for i := 0; i < 3; i++ {
+		if err := a.TrySend(Msg{Round: 2 + i}, 30*time.Millisecond); errors.Is(err, ErrTimeout) {
+			deadlineHit = true
+			break
+		}
+	}
+	if !deadlineHit {
+		t.Error("sends to a non-receiving peer never timed out")
+	}
+}
+
+func TestAsyncSurfacesPeerClose(t *testing.T) {
+	p, n := Pair()
+	a := NewAsync(p, 1)
+	defer a.Close()
+
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := a.TryRecv(time.Second)
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	// The error stays observable on subsequent calls.
+	_, err = a.TryRecv(50 * time.Millisecond)
+	if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrTimeout) {
+		t.Errorf("second err = %v", err)
+	}
+}
+
+func TestAsyncCloseIdempotentAndUnblocks(t *testing.T) {
+	p, n := Pair()
+	a := NewAsync(p, 1)
+	defer n.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = a.TryRecv(10 * time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock TryRecv")
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close errored: %v", err)
+	}
+	if err := a.TrySend(Msg{}, 10*time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestAsyncQueueDepthDefaultsToOne(t *testing.T) {
+	p, n := Pair()
+	a := NewAsync(p, 0)
+	defer a.Close()
+	defer n.Close()
+	// Just exercise that a zero queue still works.
+	go func() { _, _ = n.Recv() }()
+	if err := a.TrySend(Msg{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncOverTCP(t *testing.T) {
+	s, c := newTCPPair(t)
+	a := NewAsync(s, 2)
+	defer a.Close()
+
+	go func() {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		_ = c.Send(m)
+	}()
+	if err := a.TrySend(Msg{Kind: KindUpdate, Params: []float64{1, 2}}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.TryRecv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Params) != 2 {
+		t.Error("payload lost over async TCP")
+	}
+}

@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpLink frames Msg values over a net.Conn with encoding/gob.
+type tcpLink struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+	once   sync.Once
+}
+
+var _ Link = (*tcpLink)(nil)
+
+// NewConnLink wraps an established connection as a Link. The caller hands
+// over ownership of conn; Close closes it.
+func NewConnLink(conn net.Conn) Link {
+	return &tcpLink{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}
+}
+
+// Dial connects to a platform listening at addr and returns the node-side
+// endpoint.
+func Dial(addr string) (Link, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewConnLink(conn), nil
+}
+
+// Accept accepts n node connections from ln and returns their platform-side
+// endpoints in accept order.
+func Accept(ln net.Listener, n int) ([]Link, error) {
+	links := make([]Link, 0, n)
+	for i := 0; i < n; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			for _, l := range links {
+				_ = l.Close()
+			}
+			return nil, fmt.Errorf("transport: accept node %d: %w", i, err)
+		}
+		links = append(links, NewConnLink(conn))
+	}
+	return links, nil
+}
+
+// Send implements Link.
+func (l *tcpLink) Send(m Msg) error {
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
+	if err := l.enc.Encode(m); err != nil {
+		return fmt.Errorf("transport: send: %w", mapClosed(err))
+	}
+	return nil
+}
+
+// Recv implements Link.
+func (l *tcpLink) Recv() (Msg, error) {
+	l.recvMu.Lock()
+	defer l.recvMu.Unlock()
+	var m Msg
+	if err := l.dec.Decode(&m); err != nil {
+		return Msg{}, fmt.Errorf("transport: recv: %w", mapClosed(err))
+	}
+	return m, nil
+}
+
+// Close implements Link; idempotent.
+func (l *tcpLink) Close() error {
+	var err error
+	l.once.Do(func() { err = l.conn.Close() })
+	return err
+}
+
+func mapClosed(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}

@@ -1,0 +1,68 @@
+// Package transport provides the message pipe between the platform and the
+// edge nodes. Two implementations share one interface: an in-memory channel
+// pipe for single-process simulation, and a TCP pipe (encoding/gob framing)
+// that exercises a real network path. The federated runtime in
+// internal/core is written against Link only, so the same Algorithm 1/2 code
+// runs over either.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates wire messages.
+type Kind int
+
+const (
+	// KindParams carries global parameters from the platform to a node.
+	KindParams Kind = iota + 1
+	// KindUpdate carries locally-updated parameters from a node.
+	KindUpdate
+	// KindDone tells a node that training is over.
+	KindDone
+	// KindError reports a node-side failure to the platform.
+	KindError
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindParams:
+		return "params"
+	case KindUpdate:
+		return "update"
+	case KindDone:
+		return "done"
+	case KindError:
+		return "error"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Msg is one message between the platform and a node.
+type Msg struct {
+	Kind   Kind      `json:"kind"`
+	Round  int       `json:"round"`
+	NodeID int       `json:"node_id"`
+	Params []float64 `json:"params,omitempty"`
+	// LocalSteps, when positive on a KindParams message, overrides the
+	// node's configured T0 for this round — the knob the platform uses to
+	// balance communication against local computation (§IV of the paper).
+	LocalSteps int `json:"local_steps,omitempty"`
+	// Err carries a node-side error description on KindError.
+	Err string `json:"err,omitempty"`
+}
+
+// Link is one endpoint of a bidirectional, ordered, reliable message pipe.
+// Send and Recv may be used from different goroutines, but neither is safe
+// for concurrent use with itself.
+type Link interface {
+	Send(Msg) error
+	Recv() (Msg, error)
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed link.
+var ErrClosed = errors.New("transport: link closed")

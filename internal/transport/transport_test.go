@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func roundTrip(t *testing.T, a, b Link) {
+	t.Helper()
+	want := Msg{Kind: KindParams, Round: 3, NodeID: 7, Params: []float64{1, 2.5, -3}}
+	errc := make(chan error, 1)
+	go func() { errc <- a.Send(want) }()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got.Kind != want.Kind || got.Round != want.Round || got.NodeID != want.NodeID {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if len(got.Params) != 3 || got.Params[1] != 2.5 {
+		t.Fatalf("params corrupted: %v", got.Params)
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	roundTrip(t, a, b)
+	roundTrip(t, b, a) // both directions
+}
+
+func TestMemoryCloseUnblocksPeer(t *testing.T) {
+	a, b := Pair()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Recv after peer close = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock after peer Close")
+	}
+	if err := a.Send(Msg{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send on closed link = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemoryCloseIdempotent(t *testing.T) {
+	a, b := Pair()
+	_ = b
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+}
+
+func TestMemoryManyMessagesOrdered(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	defer b.Close()
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send(Msg{Round: i}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Round != i {
+			t.Fatalf("out of order: got round %d at position %d", m.Round, i)
+		}
+	}
+	wg.Wait()
+}
+
+func newTCPPair(t *testing.T) (server, client Link) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type dialResult struct {
+		link Link
+		err  error
+	}
+	dialc := make(chan dialResult, 1)
+	go func() {
+		l, err := Dial(ln.Addr().String())
+		dialc <- dialResult{l, err}
+	}()
+	links, err := Accept(ln, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := <-dialc
+	if dr.err != nil {
+		t.Fatal(dr.err)
+	}
+	t.Cleanup(func() {
+		links[0].Close()
+		dr.link.Close()
+	})
+	return links[0], dr.link
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	s, c := newTCPPair(t)
+	roundTrip(t, s, c)
+	roundTrip(t, c, s)
+}
+
+func TestTCPLargeParams(t *testing.T) {
+	s, c := newTCPPair(t)
+	params := make([]float64, 100000)
+	for i := range params {
+		params[i] = float64(i) * 0.001
+	}
+	go func() {
+		_ = s.Send(Msg{Kind: KindUpdate, Params: params})
+	}()
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Params) != len(params) || got.Params[99999] != params[99999] {
+		t.Error("large payload corrupted")
+	}
+}
+
+func TestTCPCloseGivesErrClosed(t *testing.T) {
+	s, c := newTCPPair(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Recv after peer close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDialBadAddr(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dialing a dead port succeeded")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindParams: "params",
+		KindUpdate: "update",
+		KindDone:   "done",
+		KindError:  "error",
+		Kind(99):   "Kind(99)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
