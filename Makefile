@@ -3,9 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-paper fuzz examples clean
+.PHONY: all build vet test test-race test-short check bench bench-json bench-paper fuzz examples clean
 
 all: build vet test
+
+# Pre-commit gate: formatting, static analysis, and the race-enabled short
+# test suite (includes the zero-allocation regression tests).
+check:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
 
 build:
 	$(GO) build ./...
@@ -25,6 +33,14 @@ test-race:
 # One testing.B per paper table/figure plus ablations (see bench_test.go).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable performance snapshot: the key end-to-end and kernel
+# benchmarks rendered to BENCH_fedml.json (name -> ns/op, B/op, allocs/op)
+# by cmd/benchjson, so performance regressions show up as diffs.
+bench-json:
+	$(GO) test -run '^$$' \
+		-bench 'Fig2aNodeSimilarity|MetaStep|FastAdaptation|GradInto' \
+		-benchmem . | tee bench_output.txt | $(GO) run ./cmd/benchjson -out BENCH_fedml.json
 
 # Regenerate every table and figure at the paper's scale.
 bench-paper:

@@ -11,6 +11,7 @@ import (
 	"github.com/edgeai/fedml/internal/meta"
 	"github.com/edgeai/fedml/internal/nn"
 	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
 	"github.com/edgeai/fedml/internal/transport"
 )
 
@@ -324,5 +325,54 @@ func BenchmarkFastAdaptation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = meta.Adapt(m, theta, nd.Train, 0.05, 1)
+	}
+}
+
+// --- Zero-allocation kernel benchmarks (DESIGN.md §6) ---
+
+// BenchmarkGradInto measures the buffered gradient kernels against a warm
+// workspace; steady state is expected to report 0 allocs/op.
+func BenchmarkGradInto(b *testing.B) {
+	fed, sm := benchFederation(b)
+	batch := fed.Sources[0].Train
+	mlp, err := nn.NewMLP(nn.MLPConfig{Dims: []int{fed.Dim, 16, fed.NumClasses}, BatchNorm: true, L2: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		m    nn.Model
+	}{
+		{"softmax", sm},
+		{"mlp", mlp},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			theta := tc.m.InitParams(rng.New(1))
+			ws := nn.NewWorkspace(tc.m)
+			out := tensor.NewVec(tc.m.NumParams())
+			nn.GradInto(tc.m, ws, theta, batch, out)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nn.GradInto(tc.m, ws, theta, batch, out)
+			}
+		})
+	}
+}
+
+// BenchmarkMetaGradInto measures one full buffered meta-gradient (inner
+// step + outer gradient + HVP correction) — the workspace counterpart of
+// BenchmarkMetaStep's allocating path.
+func BenchmarkMetaGradInto(b *testing.B) {
+	fed, m := benchFederation(b)
+	theta := m.InitParams(rng.New(1))
+	nd := fed.Sources[0]
+	ws := meta.NewWorkspace(m)
+	grad := tensor.NewVec(m.NumParams())
+	ws.GradInto(theta, nd.Train, nd.Test, 0.05, meta.SecondOrder, grad)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.GradInto(theta, nd.Train, nd.Test, 0.05, meta.SecondOrder, grad)
 	}
 }

@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` output read from stdin into a
+// machine-readable JSON file: a map from benchmark name to its measured
+// ns/op, B/op, allocs/op and iteration count. It is the back end of
+// `make bench-json`, which records the repository's performance trajectory
+// (BENCH_fedml.json) so regressions show up as diffs.
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers, custom
+// metrics it does not know) are ignored; unknown units on a benchmark line
+// are skipped without error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the parsed measurement of one benchmark.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches "BenchmarkName[-P] <iters> <value> <unit> ...". The -P
+// suffix (GOMAXPROCS) is stripped from the name so results are comparable
+// across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parse reads benchmark output and returns the results keyed by name. A
+// benchmark that appears multiple times keeps its last occurrence.
+func parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		fields := strings.Fields(m[3])
+		// Fields come in value/unit pairs after the iteration count.
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+// write renders the results as deterministic (sorted-key, indented) JSON.
+func write(w io.Writer, results map[string]Result) error {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Marshal via an ordered rendering: encoding/json sorts map keys, so a
+	// plain Marshal of the map is already deterministic.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	ordered := make(map[string]Result, len(results))
+	for _, name := range names {
+		ordered[name] = results[name]
+	}
+	return enc.Encode(ordered)
+}
+
+func run(in io.Reader, outPath string) error {
+	results, err := parse(in)
+	if err != nil {
+		return fmt.Errorf("benchjson: reading input: %w", err)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines found on stdin")
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	if err := write(f, results); err != nil {
+		f.Close()
+		return fmt.Errorf("benchjson: writing %s: %w", outPath, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(results), outPath)
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_fedml.json", "output JSON path")
+	flag.Parse()
+	if err := run(os.Stdin, *out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

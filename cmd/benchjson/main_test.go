@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/edgeai/fedml
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig2aNodeSimilarity 	       1	1121150641 ns/op	672436408 B/op	  414879 allocs/op
+BenchmarkMetaStep-8          	   25982	     49057 ns/op	   32992 B/op	      18 allocs/op
+BenchmarkGradInto/softmax-8  	  209064	      6813 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAblationLocalSteps/T0=5-8 	  100	 12345 ns/op	        42.0 msgs/op	 100 B/op	 7 allocs/op
+PASS
+ok  	github.com/edgeai/fedml	5.799s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Result{
+		"BenchmarkFig2aNodeSimilarity":     {Iterations: 1, NsPerOp: 1121150641, BytesPerOp: 672436408, AllocsPerOp: 414879},
+		"BenchmarkMetaStep":                {Iterations: 25982, NsPerOp: 49057, BytesPerOp: 32992, AllocsPerOp: 18},
+		"BenchmarkGradInto/softmax":        {Iterations: 209064, NsPerOp: 6813},
+		"BenchmarkAblationLocalSteps/T0=5": {Iterations: 100, NsPerOp: 12345, BytesPerOp: 100, AllocsPerOp: 7},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if g, ok := got[name]; !ok || g != w {
+			t.Errorf("%s = %+v, want %+v", name, got[name], w)
+		}
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	got, err := parse(strings.NewReader("hello\nBenchmarkX notanumber 5 ns/op\n--- FAIL: TestY\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %v from garbage", got)
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(strings.NewReader(sample), out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]Result
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if decoded["BenchmarkMetaStep"].AllocsPerOp != 18 {
+		t.Errorf("round-trip lost data: %+v", decoded["BenchmarkMetaStep"])
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(strings.NewReader("no benchmarks here\n"), filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Error("empty input accepted")
+	}
+}

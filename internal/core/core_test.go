@@ -226,13 +226,7 @@ func TestRobustNodeStateAdversarialSchedule(t *testing.T) {
 		Alpha: 0.01, Beta: 0.01, T: 8, T0: 2, Seed: 1,
 		Robust: &RobustConfig{Lambda: 1, Nu: 0.5, Ta: 2, N0: 1, R: 2},
 	}
-	n := &nodeState{
-		cfg:   cfg.normalized(),
-		model: m,
-		data:  nd,
-		id:    0,
-		rand:  rng.New(1),
-	}
+	n := newNodeState(cfg.normalized(), m, nd, 0)
 	theta := m.InitParams(rng.New(2))
 	for round := 0; round < 4; round++ {
 		var err error

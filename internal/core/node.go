@@ -39,13 +39,7 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 		return fmt.Errorf("core: node %d missing model or data", nc.ID)
 	}
 
-	n := &nodeState{
-		cfg:   cfg,
-		model: nc.Model,
-		data:  nc.Data,
-		id:    nc.ID,
-		rand:  rng.New(cfg.Seed).Split(uint64(nc.ID) + 1),
-	}
+	n := newNodeState(cfg, nc.Model, nc.Data, nc.ID)
 
 	for {
 		msg, err := link.Recv()
@@ -72,11 +66,14 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 				})
 				return fmt.Errorf("core: node %d local update: %w", nc.ID, err)
 			}
+			// Ownership of Msg.Params transfers to the receiver on Send
+			// (see transport.Msg); theta is the node's reusable buffer, so
+			// a copy must cross the boundary.
 			if err := link.Send(transport.Msg{
 				Kind:   transport.KindUpdate,
 				Round:  msg.Round,
 				NodeID: nc.ID,
-				Params: theta,
+				Params: theta.Clone(),
 			}); err != nil {
 				return fmt.Errorf("core: node %d send update: %w", nc.ID, err)
 			}
@@ -87,7 +84,9 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 }
 
 // nodeState carries the across-round state of one node: the iteration
-// counter, the adversarial dataset D_adv, and the regeneration count r.
+// counter, the adversarial dataset D_adv, the regeneration count r, and the
+// reusable numeric buffers (one meta workspace plus the local θ and
+// meta-gradient vectors) shared by all T0 steps of all rounds.
 type nodeState struct {
 	cfg   Config
 	model nn.Model
@@ -95,9 +94,29 @@ type nodeState struct {
 	id    int
 	rand  *rng.Rand
 
+	ws    *meta.Workspace
+	theta tensor.Vec
+	grad  tensor.Vec
+
 	iter     int
 	adv      []data.Sample
 	advRound int // r in Algorithm 2
+}
+
+// newNodeState builds the per-node state, sizing the reusable buffers for
+// the model.
+func newNodeState(cfg Config, m nn.Model, d *data.NodeDataset, id int) *nodeState {
+	np := m.NumParams()
+	return &nodeState{
+		cfg:   cfg,
+		model: m,
+		data:  d,
+		id:    id,
+		rand:  rng.New(cfg.Seed).Split(uint64(id) + 1),
+		ws:    meta.NewWorkspace(m),
+		theta: tensor.NewVec(np),
+		grad:  tensor.NewVec(np),
+	}
 }
 
 // localUpdates performs `steps` local meta-updates starting from the
@@ -108,7 +127,8 @@ func (n *nodeState) localUpdates(global tensor.Vec, steps int) (tensor.Vec, erro
 	if len(global) != n.model.NumParams() {
 		return nil, fmt.Errorf("core: node %d got %d params, model needs %d", n.id, len(global), n.model.NumParams())
 	}
-	theta := global.Clone()
+	theta := n.theta
+	theta.CopyFrom(global)
 	cfg := n.cfg
 	for t := 0; t < steps; t++ {
 		n.iter++
@@ -117,13 +137,15 @@ func (n *nodeState) localUpdates(global tensor.Vec, steps int) (tensor.Vec, erro
 			train = data.Minibatch(n.rand, n.data.Train, cfg.BatchSize)
 			test = data.Minibatch(n.rand, n.data.Test, cfg.BatchSize)
 		}
-		var grad, phi tensor.Vec
+		// phi aliases workspace memory: valid until the next ws call,
+		// which is exactly the lifetime generateAdversarial needs.
+		var phi tensor.Vec
 		if cfg.Robust != nil {
-			grad, phi = meta.GradWithExtra(n.model, theta, train, test, n.adv, cfg.Alpha, cfg.GradMode)
+			phi = n.ws.GradWithExtraInto(theta, train, test, n.adv, cfg.Alpha, cfg.GradMode, n.grad)
 		} else {
-			grad, phi = meta.Grad(n.model, theta, train, test, cfg.Alpha, cfg.GradMode)
+			phi = n.ws.GradInto(theta, train, test, cfg.Alpha, cfg.GradMode, n.grad)
 		}
-		theta.Axpy(-cfg.Beta, grad)
+		theta.Axpy(-cfg.Beta, n.grad)
 		if !theta.IsFinite() {
 			return nil, fmt.Errorf("core: node %d diverged at iteration %d (non-finite parameters)", n.id, n.iter)
 		}

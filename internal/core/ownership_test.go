@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+// The in-memory transport passes Msg.Params by reference, and both the
+// platform and the nodes now reuse their parameter buffers across rounds.
+// These tests pin the ownership contract at the two core send boundaries: a
+// receiver that retains a Params slice must never observe it change, no
+// matter what the sender's buffers do afterwards.
+
+// TestBroadcastParamsNotAliased retains the round-1 broadcast on the node
+// side and checks the platform's round-2 aggregation (which overwrites its
+// reused θ buffer) leaves the retained slice untouched.
+func TestBroadcastParamsNotAliased(t *testing.T) {
+	fed := tinyFederation(t, 0, 0)
+	m := tinyModel(fed)
+	theta0 := m.InitParams(rng.New(3))
+	cfg := Config{Alpha: 0.01, Beta: 0.01, T: 4, T0: 2, Seed: 1}
+
+	platform, node := transport.Pair()
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := RunPlatform([]transport.Link{platform}, []float64{1}, theta0, cfg)
+		errc <- err
+	}()
+
+	// Fake node: answer each round with a fixed update, retaining the
+	// round-1 broadcast parameters across the platform's aggregation.
+	var retained, snapshot tensor.Vec
+	update := m.InitParams(rng.New(4))
+	for round := 1; ; round++ {
+		msg, err := node.Recv()
+		if err != nil {
+			t.Fatalf("node recv: %v", err)
+		}
+		if msg.Kind == transport.KindDone {
+			break
+		}
+		if msg.Kind != transport.KindParams {
+			t.Fatalf("round %d: got %v, want params", round, msg.Kind)
+		}
+		if round == 1 {
+			retained = tensor.Vec(msg.Params)
+			snapshot = retained.Clone()
+		}
+		if err := node.Send(transport.Msg{
+			Kind:   transport.KindUpdate,
+			Round:  msg.Round,
+			Params: update.Clone(),
+		}); err != nil {
+			t.Fatalf("node send: %v", err)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	if retained.Dist(snapshot) != 0 {
+		t.Error("round-1 broadcast Params changed after later rounds: platform aliased its reused θ buffer into the message")
+	}
+	if retained.Dist(update) == 0 {
+		t.Error("retained broadcast equals the node update: round 2 never ran")
+	}
+}
+
+// TestUpdateParamsNotAliased retains the round-1 update on the platform
+// side and checks the node's round-2 local steps (which overwrite its
+// reused θ buffer) leave the retained slice untouched.
+func TestUpdateParamsNotAliased(t *testing.T) {
+	fed := tinyFederation(t, 0, 0)
+	m := tinyModel(fed)
+	nd := fed.Sources[0]
+	cfg := Config{Alpha: 0.01, Beta: 0.01, T: 4, T0: 2, Seed: 1}
+
+	platform, node := transport.Pair()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- RunNode(node, NodeConfig{ID: 0, Model: m, Data: nd, Shared: cfg})
+	}()
+
+	broadcast := m.InitParams(rng.New(5))
+	var retained, snapshot tensor.Vec
+	for round := 1; round <= 2; round++ {
+		if err := platform.Send(transport.Msg{
+			Kind:   transport.KindParams,
+			Round:  round,
+			Params: broadcast.Clone(),
+		}); err != nil {
+			t.Fatalf("platform send: %v", err)
+		}
+		msg, err := platform.Recv()
+		if err != nil {
+			t.Fatalf("platform recv: %v", err)
+		}
+		if msg.Kind != transport.KindUpdate {
+			t.Fatalf("round %d: got %v, want update", round, msg.Kind)
+		}
+		if round == 1 {
+			retained = tensor.Vec(msg.Params)
+			snapshot = retained.Clone()
+		}
+	}
+	if err := platform.Send(transport.Msg{Kind: transport.KindDone}); err != nil {
+		t.Fatalf("platform done: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("node: %v", err)
+	}
+	if retained.Dist(snapshot) != 0 {
+		t.Error("round-1 update Params changed after round 2: node aliased its reused θ buffer into the message")
+	}
+}

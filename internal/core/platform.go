@@ -172,10 +172,15 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 
 		roundNodes := selected[:0:len(selected)]
 		for _, i := range selected {
+			// Ownership of Msg.Params transfers to the receiver on Send
+			// (see transport.Msg). theta is the platform's reusable
+			// aggregation buffer — and in fault-tolerant mode the async
+			// pump may deliver the message after this round's aggregation
+			// has overwritten it — so every broadcast carries its own copy.
 			err := ops.send(i, transport.Msg{
 				Kind:       transport.KindParams,
 				Round:      round,
-				Params:     theta,
+				Params:     theta.Clone(),
 				LocalSteps: t0,
 			})
 			if err != nil {
@@ -229,7 +234,10 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 			return nil, stats, fmt.Errorf("core: only %d nodes alive, below MinNodes=%d", aliveCount, minNodes)
 		}
 
-		theta = tensor.WeightedSum(selWeights, updates)
+		// Aggregate into the reused θ buffer (Eq. 5). The updates were
+		// received from the nodes, which relinquished ownership on Send,
+		// so none of them aliases theta.
+		tensor.WeightedSumInto(theta, selWeights, updates)
 		theta.ScaleInPlace(1 / selSum)
 		// Measure the update dispersion around the new aggregate — the
 		// similarity proxy fed back to the T0 controller.

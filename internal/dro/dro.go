@@ -23,12 +23,33 @@ type Cost interface {
 	Grad(x, x0 tensor.Vec) tensor.Vec
 }
 
+// CostGradInto is an optional Cost extension for allocation-free ascent
+// loops: GradInto writes ∇_x c((x, y), (x0, y)) into out, which must have
+// the feature dimension and may not alias x or x0.
+type CostGradInto interface {
+	Cost
+	GradInto(x, x0, out tensor.Vec)
+}
+
+// costGradInto dispatches to the buffered gradient when the cost supports
+// it, falling back to copying the allocating Grad.
+func costGradInto(c Cost, x, x0, out tensor.Vec) {
+	if ci, ok := c.(CostGradInto); ok {
+		ci.GradInto(x, x0, out)
+		return
+	}
+	out.CopyFrom(c.Grad(x, x0))
+}
+
 // SquaredL2 is the paper's transportation cost c = ‖x − x′‖₂². It is
 // 2-strongly convex in x (Assumption 5 asks for 1-strong convexity, which
 // ‖·‖² dominates).
 type SquaredL2 struct{}
 
-var _ Cost = SquaredL2{}
+var (
+	_ Cost         = SquaredL2{}
+	_ CostGradInto = SquaredL2{}
+)
 
 // Value implements Cost.
 func (SquaredL2) Value(x, x0 tensor.Vec) float64 {
@@ -41,6 +62,12 @@ func (SquaredL2) Grad(x, x0 tensor.Vec) tensor.Vec {
 	g := x.Sub(x0)
 	g.ScaleInPlace(2)
 	return g
+}
+
+// GradInto implements CostGradInto: out = 2(x − x0).
+func (SquaredL2) GradInto(x, x0, out tensor.Vec) {
+	x.SubInto(x0, out)
+	out.ScaleInPlace(2)
 }
 
 // ErrNoInputGrad is returned when the model cannot differentiate its loss
@@ -103,10 +130,18 @@ func Perturb(m nn.Model, params tensor.Vec, s data.Sample, ctx []data.Sample, cf
 			nu = limit
 		}
 	}
+	// One workspace and two feature-sized buffers serve all ascent steps.
+	ws := nn.NewWorkspace(m)
+	g := tensor.NewVec(len(x0))
+	var costG tensor.Vec
+	if cfg.Lambda != 0 {
+		costG = tensor.NewVec(len(x0))
+	}
 	for step := 0; step < cfg.Steps; step++ {
-		g := ig.InputGrad(params, cur, ctx)
+		nn.InputGradInto(ig, ws, params, cur, ctx, g)
 		if cfg.Lambda != 0 {
-			g.Axpy(-cfg.Lambda, cfg.Cost.Grad(cur.X, x0))
+			costGradInto(cfg.Cost, cur.X, x0, costG)
+			g.Axpy(-cfg.Lambda, costG)
 		}
 		cur.X.Axpy(nu, g)
 		if cfg.ClampMax > cfg.ClampMin {

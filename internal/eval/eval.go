@@ -20,9 +20,11 @@ import (
 // bounds.
 func GlobalMetaObjective(m nn.Model, fed *data.Federation, alpha float64, theta tensor.Vec) float64 {
 	weights := fed.Weights()
+	// One workspace serves every node's inner step.
+	ws := meta.NewWorkspace(m)
 	var total float64
 	for i, nd := range fed.Sources {
-		total += weights[i] * meta.Objective(m, theta, nd.Train, nd.Test, alpha)
+		total += weights[i] * ws.Objective(theta, nd.Train, nd.Test, alpha)
 	}
 	return total
 }

@@ -32,7 +32,9 @@ type Config struct {
 	ProxMu float64
 	// Seed drives the default initialization.
 	Seed uint64
-	// OnRound, when non-nil, is invoked after each aggregation.
+	// OnRound, when non-nil, is invoked after each aggregation. theta is
+	// a reused buffer, overwritten next round: borrowed for the duration
+	// of the call, Clone to retain.
 	OnRound func(round, iter int, theta tensor.Vec)
 }
 
@@ -86,7 +88,21 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 
 	theta := theta0.Clone()
 	rounds := cfg.T / cfg.T0
+	// Per-node persistent scratch: each goroutine owns one workspace and a
+	// pair of vectors reused across every step of every round, so the
+	// steady-state round loop allocates nothing.
+	type nodeScratch struct {
+		ws nn.Workspace
+		ti tensor.Vec // node-local parameters
+		g  tensor.Vec // gradient buffer
+	}
+	np := m.NumParams()
+	scratch := make([]nodeScratch, len(fed.Sources))
 	updates := make([]tensor.Vec, len(fed.Sources))
+	for i := range scratch {
+		scratch[i] = nodeScratch{ws: nn.NewWorkspace(m), ti: tensor.NewVec(np), g: tensor.NewVec(np)}
+		updates[i] = scratch[i].ti
+	}
 	nodeErrs := make([]error, len(fed.Sources))
 	for round := 1; round <= rounds; round++ {
 		// Nodes are independent within a round; run them in parallel.
@@ -97,21 +113,20 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				ti := theta.Clone()
+				sc := &scratch[i]
+				sc.ti.CopyFrom(theta)
 				for t := 0; t < cfg.T0; t++ {
-					g := m.Grad(ti, local[i])
+					nn.GradInto(m, sc.ws, sc.ti, local[i], sc.g)
 					if cfg.ProxMu > 0 {
 						// ∇[(μ/2)‖θ_i − θ_global‖²] = μ(θ_i − θ_global).
-						g.Axpy(cfg.ProxMu, ti)
-						g.Axpy(-cfg.ProxMu, theta)
+						sc.g.Axpy(cfg.ProxMu, sc.ti)
+						sc.g.Axpy(-cfg.ProxMu, theta)
 					}
-					ti.Axpy(-cfg.Eta, g)
+					sc.ti.Axpy(-cfg.Eta, sc.g)
 				}
-				if !ti.IsFinite() {
+				if !sc.ti.IsFinite() {
 					nodeErrs[i] = fmt.Errorf("fedavg: node %d diverged in round %d", i, round)
-					return
 				}
-				updates[i] = ti
 			}(i)
 		}
 		wg.Wait()
@@ -120,7 +135,10 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 				return nil, err
 			}
 		}
-		theta = tensor.WeightedSum(weights, updates)
+		// theta never aliases the node buffers, so aggregating into it is
+		// safe. OnRound borrows the reused buffer; callers must Clone to
+		// retain it.
+		tensor.WeightedSumInto(theta, weights, updates)
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, round*cfg.T0, theta)
 		}

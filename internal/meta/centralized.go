@@ -49,12 +49,14 @@ func TrainCentralized(
 		mode = SecondOrder
 	}
 
+	ws := NewWorkspace(m)
 	theta := theta0.Clone()
 	grad := tensor.NewVec(len(theta))
+	g := tensor.NewVec(len(theta))
 	for t := 1; t <= iters; t++ {
 		grad.Zero()
 		for i, task := range tasks {
-			g, _ := Grad(m, theta, task.Train, task.Test, alpha, mode)
+			ws.GradInto(theta, task.Train, task.Test, alpha, mode, g)
 			grad.Axpy(weights[i], g)
 		}
 		if err := optimizer.Step(theta, grad); err != nil {

@@ -36,8 +36,14 @@ type MLP struct {
 	numParams int
 }
 
-var _ Model = (*MLP)(nil)
-var _ InputGradienter = (*MLP)(nil)
+var (
+	_ Model             = (*MLP)(nil)
+	_ InputGradienter   = (*MLP)(nil)
+	_ WorkspaceProvider = (*MLP)(nil)
+	_ GradIntoer        = (*MLP)(nil)
+	_ InputGradIntoer   = (*MLP)(nil)
+	_ LossWither        = (*MLP)(nil)
+)
 
 // NewMLP validates cfg and returns the model.
 func NewMLP(cfg MLPConfig) (*MLP, error) {
@@ -94,33 +100,43 @@ type mlpView struct {
 	gamma, beta []tensor.Vec // per hidden layer; nil without batch norm
 }
 
-func (m *MLP) view(params tensor.Vec) mlpView {
+// viewInto (re)binds v's windows onto params. The view skeleton (Mat
+// headers and per-layer slices) is allocated on first use and reused on
+// every rebind, so steady-state calls allocate nothing.
+func (m *MLP) viewInto(v *mlpView, params tensor.Vec) {
 	if len(params) != m.numParams {
 		panic(fmt.Sprintf("nn: MLP got %d params, want %d", len(params), m.numParams))
 	}
-	v := mlpView{
-		w: make([]*tensor.Mat, m.layers()),
-		b: make([]tensor.Vec, m.layers()),
-	}
-	if m.batchNorm {
-		v.gamma = make([]tensor.Vec, m.layers()-1)
-		v.beta = make([]tensor.Vec, m.layers()-1)
-	}
-	off := 0
-	take := func(n int) tensor.Vec {
-		s := params[off : off+n]
-		off += n
-		return s
-	}
-	for l := 0; l < m.layers(); l++ {
-		out, in := m.dims[l+1], m.dims[l]
-		v.w[l] = tensor.MatFromData(out, in, take(out*in))
-		v.b[l] = take(out)
-		if m.batchNorm && l < m.layers()-1 {
-			v.gamma[l] = take(out)
-			v.beta[l] = take(out)
+	if v.w == nil {
+		v.w = make([]*tensor.Mat, m.layers())
+		v.b = make([]tensor.Vec, m.layers())
+		for l := range v.w {
+			v.w[l] = &tensor.Mat{Rows: m.dims[l+1], Cols: m.dims[l]}
+		}
+		if m.batchNorm {
+			v.gamma = make([]tensor.Vec, m.layers()-1)
+			v.beta = make([]tensor.Vec, m.layers()-1)
 		}
 	}
+	off := 0
+	for l := 0; l < m.layers(); l++ {
+		out, in := m.dims[l+1], m.dims[l]
+		v.w[l].Data = params[off : off+out*in]
+		off += out * in
+		v.b[l] = params[off : off+out]
+		off += out
+		if m.batchNorm && l < m.layers()-1 {
+			v.gamma[l] = params[off : off+out]
+			off += out
+			v.beta[l] = params[off : off+out]
+			off += out
+		}
+	}
+}
+
+func (m *MLP) view(params tensor.Vec) mlpView {
+	var v mlpView
+	m.viewInto(&v, params)
 	return v
 }
 
@@ -141,7 +157,8 @@ func (m *MLP) InitParams(r *rng.Rand) tensor.Vec {
 	return p
 }
 
-// mlpCache stores the forward-pass intermediates needed by backprop.
+// mlpCache is the forward-pass view handed to backprop: per-call reslices
+// of the workspace buffers, sized to the current batch.
 type mlpCache struct {
 	// inputs[l][j] is the input to linear layer l for sample j.
 	inputs [][]tensor.Vec
@@ -157,21 +174,159 @@ type mlpCache struct {
 	logits     []tensor.Vec
 }
 
-// forward runs the network on a batch; stats, when non-nil, overrides the
-// batch-normalization statistics (used by InputGrad's frozen-BN mode).
-func (m *MLP) forward(v mlpView, batch []data.Sample, frozen *bnStats) *mlpCache {
-	n := len(batch)
+// mlpWorkspace owns every intermediate buffer of the MLP's forward and
+// backward passes, sized once (growing only when a larger batch arrives)
+// and reused, so GradInto allocates nothing in steady state. A workspace
+// belongs to one goroutine.
+type mlpWorkspace struct {
+	m *MLP
+
+	// Forward buffers, capacity fwCap samples per layer.
+	fwCap  int
+	inputs [][]tensor.Vec // [layers][fwCap]; [0] holds aliases of the batch
+	z      [][]tensor.Vec // [hidden][fwCap]
+	zhat   [][]tensor.Vec // [hidden][fwCap], BN only
+	preAct [][]tensor.Vec // [hidden][fwCap], BN only
+	mean   []tensor.Vec   // [hidden]
+	istd   []tensor.Vec   // [hidden]
+	logits []tensor.Vec   // [fwCap]
+	cache  mlpCache       // per-call reslices of the buffers above
+
+	// Backward buffers, capacity bwCap samples per layer.
+	bwCap                int
+	delta                [][]tensor.Vec // [layers][bwCap]; delta[l][j] sized dims[l]
+	dzhat                [][]tensor.Vec // [hidden][bwCap], BN only
+	probs                tensor.Vec
+	sumDzhat, sumDzhatZc tensor.Vec // sized max hidden dim
+
+	// Rebindable parameter and gradient views, plus InputGrad scratch.
+	pv, gv mlpView
+	igrad  tensor.Vec // discarded parameter grads of InputGradInto
+	dx1    []tensor.Vec
+	frozen bnStats
+
+	fdBufs
+}
+
+func (*mlpWorkspace) isWorkspace() {}
+
+// NewWorkspace implements WorkspaceProvider.
+func (m *MLP) NewWorkspace() Workspace {
 	hidden := m.layers() - 1
-	c := &mlpCache{
+	ws := &mlpWorkspace{
+		m:      m,
 		inputs: make([][]tensor.Vec, m.layers()),
 		z:      make([][]tensor.Vec, hidden),
 		zhat:   make([][]tensor.Vec, hidden),
 		preAct: make([][]tensor.Vec, hidden),
 		mean:   make([]tensor.Vec, hidden),
 		istd:   make([]tensor.Vec, hidden),
-		logits: make([]tensor.Vec, n),
+		delta:  make([][]tensor.Vec, m.layers()),
+		dzhat:  make([][]tensor.Vec, hidden),
+		probs:  tensor.NewVec(m.NumClasses()),
+		dx1:    make([]tensor.Vec, 1),
 	}
-	c.inputs[0] = make([]tensor.Vec, n)
+	maxHidden := 0
+	for l := 0; l < hidden; l++ {
+		dim := m.dims[l+1]
+		ws.mean[l] = tensor.NewVec(dim)
+		ws.istd[l] = tensor.NewVec(dim)
+		if dim > maxHidden {
+			maxHidden = dim
+		}
+	}
+	ws.sumDzhat = tensor.NewVec(maxHidden)
+	ws.sumDzhatZc = tensor.NewVec(maxHidden)
+	ws.cache.inputs = make([][]tensor.Vec, m.layers())
+	ws.cache.z = make([][]tensor.Vec, hidden)
+	ws.cache.zhat = make([][]tensor.Vec, hidden)
+	ws.cache.preAct = make([][]tensor.Vec, hidden)
+	ws.cache.mean = make([]tensor.Vec, hidden)
+	ws.cache.istd = make([]tensor.Vec, hidden)
+	return ws
+}
+
+// workspace returns ws as an MLP workspace for m, creating a temporary one
+// when ws is nil or belongs to a different model.
+func (m *MLP) workspace(ws Workspace) *mlpWorkspace {
+	if w, ok := ws.(*mlpWorkspace); ok && w.m == m {
+		return w
+	}
+	return m.NewWorkspace().(*mlpWorkspace)
+}
+
+// allocVecs returns n vectors of length dim carved out of one backing
+// array.
+func allocVecs(n, dim int) []tensor.Vec {
+	backing := tensor.NewVec(n * dim)
+	out := make([]tensor.Vec, n)
+	for j := range out {
+		out[j] = backing[j*dim : (j+1)*dim]
+	}
+	return out
+}
+
+func (ws *mlpWorkspace) ensureForward(n int) {
+	if n <= ws.fwCap {
+		return
+	}
+	m := ws.m
+	ws.fwCap = n
+	ws.inputs[0] = make([]tensor.Vec, n) // aliases of the batch, no backing
+	for l := 1; l < m.layers(); l++ {
+		ws.inputs[l] = allocVecs(n, m.dims[l])
+	}
+	for l := 0; l < m.layers()-1; l++ {
+		dim := m.dims[l+1]
+		ws.z[l] = allocVecs(n, dim)
+		if m.batchNorm {
+			ws.zhat[l] = allocVecs(n, dim)
+			ws.preAct[l] = allocVecs(n, dim)
+		}
+	}
+	ws.logits = allocVecs(n, m.NumClasses())
+}
+
+func (ws *mlpWorkspace) ensureBackward(n int) {
+	if n <= ws.bwCap {
+		return
+	}
+	m := ws.m
+	ws.bwCap = n
+	for l := 0; l < m.layers(); l++ {
+		ws.delta[l] = allocVecs(n, m.dims[l])
+	}
+	if m.batchNorm {
+		for l := 0; l < m.layers()-1; l++ {
+			ws.dzhat[l] = allocVecs(n, m.dims[l+1])
+		}
+	}
+}
+
+// forward runs the network on a batch using ws's buffers; frozen, when
+// non-nil, overrides the batch-normalization statistics (used by
+// InputGrad's frozen-BN mode). The returned cache aliases ws and is valid
+// until the next forward on the same workspace.
+func (m *MLP) forward(ws *mlpWorkspace, v mlpView, batch []data.Sample, frozen *bnStats) *mlpCache {
+	n := len(batch)
+	hidden := m.layers() - 1
+	ws.ensureForward(n)
+	c := &ws.cache
+	for l := 0; l < m.layers(); l++ {
+		c.inputs[l] = ws.inputs[l][:n]
+	}
+	for l := 0; l < hidden; l++ {
+		c.z[l] = ws.z[l][:n]
+		if m.batchNorm {
+			c.zhat[l] = ws.zhat[l][:n]
+			c.preAct[l] = ws.preAct[l][:n]
+		} else {
+			c.zhat[l] = nil
+			c.preAct[l] = c.z[l]
+		}
+	}
+	c.logits = ws.logits[:n]
+
 	for j, s := range batch {
 		if len(s.X) != m.dims[0] {
 			panic(fmt.Sprintf("nn: MLP input dim %d, want %d", len(s.X), m.dims[0]))
@@ -181,55 +336,47 @@ func (m *MLP) forward(v mlpView, batch []data.Sample, frozen *bnStats) *mlpCache
 
 	for l := 0; l < hidden; l++ {
 		dim := m.dims[l+1]
-		c.z[l] = make([]tensor.Vec, n)
 		for j := range batch {
-			z := tensor.NewVec(dim)
+			z := c.z[l][j]
 			v.w[l].MulVec(c.inputs[l][j], z)
 			z.AddInPlace(v.b[l])
-			c.z[l][j] = z
 		}
 		act := c.z[l]
 		if m.batchNorm {
 			if frozen != nil {
 				c.mean[l], c.istd[l] = frozen.mean[l], frozen.istd[l]
 			} else {
-				c.mean[l], c.istd[l] = batchStats(c.z[l], dim)
+				c.mean[l], c.istd[l] = ws.mean[l], ws.istd[l]
+				batchStatsInto(c.z[l], c.mean[l], c.istd[l])
 			}
-			c.zhat[l] = make([]tensor.Vec, n)
-			c.preAct[l] = make([]tensor.Vec, n)
 			for j := range batch {
-				zh := tensor.NewVec(dim)
-				pa := tensor.NewVec(dim)
+				zh, pa := c.zhat[l][j], c.preAct[l][j]
 				for f := 0; f < dim; f++ {
 					zh[f] = (c.z[l][j][f] - c.mean[l][f]) * c.istd[l][f]
 					pa[f] = v.gamma[l][f]*zh[f] + v.beta[l][f]
 				}
-				c.zhat[l][j] = zh
-				c.preAct[l][j] = pa
 			}
 			act = c.preAct[l]
-		} else {
-			c.preAct[l] = c.z[l]
 		}
-		// ReLU into the next layer's inputs.
-		c.inputs[l+1] = make([]tensor.Vec, n)
+		// ReLU into the next layer's inputs (buffers are reused, so zeros
+		// must be written explicitly).
 		for j := range batch {
-			h := tensor.NewVec(dim)
+			h := c.inputs[l+1][j]
 			for f, a := range act[j] {
 				if a > 0 {
 					h[f] = a
+				} else {
+					h[f] = 0
 				}
 			}
-			c.inputs[l+1][j] = h
 		}
 	}
 
 	last := m.layers() - 1
 	for j := range batch {
-		logit := tensor.NewVec(m.dims[last+1])
+		logit := c.logits[j]
 		v.w[last].MulVec(c.inputs[last][j], logit)
 		logit.AddInPlace(v.b[last])
-		c.logits[j] = logit
 	}
 	return c
 }
@@ -239,34 +386,40 @@ type bnStats struct {
 	mean, istd []tensor.Vec
 }
 
-func batchStats(zs []tensor.Vec, dim int) (mean, istd tensor.Vec) {
+// batchStatsInto computes the per-feature mean and inverse standard
+// deviation of zs into the caller's buffers.
+func batchStatsInto(zs []tensor.Vec, mean, istd tensor.Vec) {
 	n := float64(len(zs))
-	mean = tensor.NewVec(dim)
+	mean.Zero()
 	for _, z := range zs {
 		mean.AddInPlace(z)
 	}
 	mean.ScaleInPlace(1 / n)
-	variance := tensor.NewVec(dim)
+	istd.Zero() // accumulate the variance in istd, then invert
 	for _, z := range zs {
-		for f := 0; f < dim; f++ {
+		for f := range istd {
 			d := z[f] - mean[f]
-			variance[f] += d * d
+			istd[f] += d * d
 		}
 	}
-	istd = tensor.NewVec(dim)
-	for f := 0; f < dim; f++ {
-		istd[f] = 1 / math.Sqrt(variance[f]/n+_bnEps)
+	for f := range istd {
+		istd[f] = 1 / math.Sqrt(istd[f]/n+_bnEps)
 	}
-	return mean, istd
 }
 
 // Loss implements Model.
 func (m *MLP) Loss(params tensor.Vec, batch []data.Sample) float64 {
+	return m.LossWith(nil, params, batch)
+}
+
+// LossWith implements LossWither.
+func (m *MLP) LossWith(wsAny Workspace, params tensor.Vec, batch []data.Sample) float64 {
 	if len(batch) == 0 {
 		return m.l2Term(params)
 	}
-	v := m.view(params)
-	c := m.forward(v, batch, nil)
+	ws := m.workspace(wsAny)
+	m.viewInto(&ws.pv, params)
+	c := m.forward(ws, ws.pv, batch, nil)
 	var total float64
 	for j, s := range batch {
 		total += tensor.CrossEntropyFromLogits(c.logits[j], s.Y)
@@ -281,43 +434,55 @@ func (m *MLP) l2Term(params tensor.Vec) float64 {
 	return 0.5 * m.l2 * params.Dot(params)
 }
 
-// Grad implements Model via full manual backpropagation, including the
-// gradient through the batch-normalization statistics.
+// Grad implements Model. It is the allocating wrapper over GradInto.
 func (m *MLP) Grad(params tensor.Vec, batch []data.Sample) tensor.Vec {
 	g := tensor.NewVec(m.numParams)
-	if len(batch) > 0 {
-		v := m.view(params)
-		gv := m.view(g)
-		c := m.forward(v, batch, nil)
-		m.backward(v, gv, c, batch, nil)
-	}
-	if m.l2 != 0 {
-		g.Axpy(m.l2, params)
-	}
+	m.GradInto(nil, params, batch, g)
 	return g
 }
 
-// backward accumulates parameter gradients into gv. If dx is non-nil it also
-// accumulates the loss gradient with respect to each input sample into
-// dx[j]; in that mode BN statistics are treated as constants (frozen).
-func (m *MLP) backward(v, gv mlpView, c *mlpCache, batch []data.Sample, dx []tensor.Vec) {
+// GradInto implements GradIntoer via full manual backpropagation, including
+// the gradient through the batch-normalization statistics. With a workspace
+// from this model the steady-state path allocates nothing. out must not
+// alias params.
+func (m *MLP) GradInto(wsAny Workspace, params tensor.Vec, batch []data.Sample, out tensor.Vec) {
+	ws := m.workspace(wsAny)
+	if len(out) != m.numParams {
+		panic(fmt.Sprintf("nn: MLP gradient buffer has %d entries, want %d", len(out), m.numParams))
+	}
+	out.Zero()
+	if len(batch) > 0 {
+		m.viewInto(&ws.pv, params)
+		m.viewInto(&ws.gv, out)
+		c := m.forward(ws, ws.pv, batch, nil)
+		m.backward(ws, ws.pv, ws.gv, c, batch, nil)
+	}
+	if m.l2 != 0 {
+		out.Axpy(m.l2, params)
+	}
+}
+
+// backward accumulates parameter gradients into gv. If dx is non-nil it
+// also stores the loss gradient with respect to each input sample into
+// dx[j] (aliasing ws.delta[0] memory); in that mode BN statistics are
+// treated as constants (frozen).
+func (m *MLP) backward(ws *mlpWorkspace, v, gv mlpView, c *mlpCache, batch []data.Sample, dx []tensor.Vec) {
 	n := len(batch)
+	ws.ensureBackward(n)
 	invN := 1 / float64(n)
 	hidden := m.layers() - 1
 	last := m.layers() - 1
 
 	// d holds ∂loss/∂(input of layer l+1) per sample, i.e. post-ReLU grads.
-	d := make([]tensor.Vec, n)
-	probs := tensor.NewVec(m.dims[last+1])
+	d := ws.delta[last][:n]
+	probs := ws.probs
 	for j, s := range batch {
 		tensor.Softmax(c.logits[j], probs)
 		probs[s.Y]--
 		probs.ScaleInPlace(invN)
 		gv.w[last].AddOuterInPlace(1, probs, c.inputs[last][j])
 		gv.b[last].AddInPlace(probs)
-		dj := tensor.NewVec(m.dims[last])
-		v.w[last].MulVecT(probs, dj)
-		d[j] = dj
+		v.w[last].MulVecT(probs, d[j])
 	}
 
 	for l := hidden - 1; l >= 0; l-- {
@@ -336,38 +501,38 @@ func (m *MLP) backward(v, gv mlpView, c *mlpCache, batch []data.Sample, dx []ten
 		var dz []tensor.Vec
 		if m.batchNorm {
 			// Through the affine BN parameters.
-			dzhat := make([]tensor.Vec, n)
+			dzhat := ws.dzhat[l][:n]
 			for j := 0; j < n; j++ {
-				dzh := tensor.NewVec(dim)
+				dzh := dzhat[j]
 				for f := 0; f < dim; f++ {
 					gv.gamma[l][f] += dy[j][f] * c.zhat[l][j][f]
 					gv.beta[l][f] += dy[j][f]
 					dzh[f] = dy[j][f] * v.gamma[l][f]
 				}
-				dzhat[j] = dzh
 			}
+			dz = dzhat
 			if dx != nil {
 				// Frozen statistics: dz = dzhat * istd.
-				dz = dzhat
 				for j := 0; j < n; j++ {
 					for f := 0; f < dim; f++ {
 						dz[j][f] *= c.istd[l][f]
 					}
 				}
 			} else {
-				dz = bnBackward(dzhat, c.z[l], c.mean[l], c.istd[l])
+				bnBackwardInPlace(dzhat, c.z[l], c.mean[l], c.istd[l],
+					ws.sumDzhat[:dim], ws.sumDzhatZc[:dim])
 			}
 		} else {
 			dz = dy
 		}
 
+		prev := ws.delta[l][:n]
 		for j := 0; j < n; j++ {
 			gv.w[l].AddOuterInPlace(1, dz[j], c.inputs[l][j])
 			gv.b[l].AddInPlace(dz[j])
-			prev := tensor.NewVec(m.dims[l])
-			v.w[l].MulVecT(dz[j], prev)
-			d[j] = prev
+			v.w[l].MulVecT(dz[j], prev[j])
 		}
+		d = prev
 	}
 
 	if dx != nil {
@@ -377,34 +542,31 @@ func (m *MLP) backward(v, gv mlpView, c *mlpCache, batch []data.Sample, dx []ten
 	}
 }
 
-// bnBackward propagates gradients through batch normalization, including the
-// dependence of the batch mean and variance on every sample.
-func bnBackward(dzhat, z []tensor.Vec, mean, istd tensor.Vec) []tensor.Vec {
+// bnBackwardInPlace propagates gradients through batch normalization,
+// including the dependence of the batch mean and variance on every sample.
+// The result overwrites dzhat; sumDzhat and sumDzhatZc are caller scratch.
+func bnBackwardInPlace(dzhat, z []tensor.Vec, mean, istd, sumDzhat, sumDzhatZc tensor.Vec) {
 	n := len(dzhat)
-	dim := len(mean)
 	invN := 1 / float64(n)
 
-	sumDzhat := tensor.NewVec(dim)
-	sumDzhatZc := tensor.NewVec(dim) // Σ_j dzhat_j ∘ (z_j − mean)
+	sumDzhat.Zero()
+	sumDzhatZc.Zero() // Σ_j dzhat_j ∘ (z_j − mean)
 	for j := 0; j < n; j++ {
-		for f := 0; f < dim; f++ {
+		for f := range sumDzhat {
 			sumDzhat[f] += dzhat[j][f]
 			sumDzhatZc[f] += dzhat[j][f] * (z[j][f] - mean[f])
 		}
 	}
 
-	dz := make([]tensor.Vec, n)
 	for j := 0; j < n; j++ {
-		dj := tensor.NewVec(dim)
-		for f := 0; f < dim; f++ {
+		dj := dzhat[j]
+		for f := range sumDzhat {
 			zc := z[j][f] - mean[f]
 			// Standard BN backward:
 			// dz = istd*(dzhat − mean(dzhat) − zhat*mean(dzhat∘zhat_like))
-			dj[f] = istd[f] * (dzhat[j][f] - invN*sumDzhat[f] - zc*istd[f]*istd[f]*invN*sumDzhatZc[f])
+			dj[f] = istd[f] * (dj[f] - invN*sumDzhat[f] - zc*istd[f]*istd[f]*invN*sumDzhatZc[f])
 		}
-		dz[j] = dj
 	}
-	return dz
 }
 
 // InputGrad implements InputGradienter. For batch-normalized networks the
@@ -412,21 +574,36 @@ func bnBackward(dzhat, z []tensor.Vec, mean, istd tensor.Vec) []tensor.Vec {
 // batch norm the result is the exact per-sample input gradient and ctx is
 // ignored.
 func (m *MLP) InputGrad(params tensor.Vec, s data.Sample, ctx []data.Sample) tensor.Vec {
-	v := m.view(params)
+	out := tensor.NewVec(m.dims[0])
+	m.InputGradInto(nil, params, s, ctx, out)
+	return out
+}
+
+// InputGradInto implements InputGradIntoer: the frozen-BN input gradient
+// written into out (length = input dimension).
+func (m *MLP) InputGradInto(wsAny Workspace, params tensor.Vec, s data.Sample, ctx []data.Sample, out tensor.Vec) {
+	ws := m.workspace(wsAny)
+	m.viewInto(&ws.pv, params)
 	var frozen *bnStats
 	if m.batchNorm {
 		if len(ctx) == 0 {
 			ctx = []data.Sample{s}
 		}
-		ref := m.forward(v, ctx, nil)
-		frozen = &bnStats{mean: ref.mean, istd: ref.istd}
+		ref := m.forward(ws, ws.pv, ctx, nil)
+		// The statistics buffers are only written by non-frozen forwards,
+		// so they stay valid through the frozen pass below.
+		ws.frozen = bnStats{mean: ref.mean, istd: ref.istd}
+		frozen = &ws.frozen
 	}
 	batch := []data.Sample{s}
-	c := m.forward(v, batch, frozen)
-	gv := m.view(tensor.NewVec(m.numParams)) // scratch; parameter grads discarded
-	dx := make([]tensor.Vec, 1)
-	m.backward(v, gv, c, batch, dx)
-	return dx[0]
+	c := m.forward(ws, ws.pv, batch, frozen)
+	if ws.igrad == nil {
+		ws.igrad = tensor.NewVec(m.numParams)
+	}
+	ws.igrad.Zero()
+	m.viewInto(&ws.gv, ws.igrad) // scratch; parameter grads discarded
+	m.backward(ws, ws.pv, ws.gv, c, batch, ws.dx1)
+	out.CopyFrom(ws.dx1[0])
 }
 
 // PredictBatch implements Model, using transductive batch statistics for
@@ -435,8 +612,9 @@ func (m *MLP) PredictBatch(params tensor.Vec, batch []data.Sample) []int {
 	if len(batch) == 0 {
 		return nil
 	}
-	v := m.view(params)
-	c := m.forward(v, batch, nil)
+	ws := m.workspace(nil)
+	m.viewInto(&ws.pv, params)
+	c := m.forward(ws, ws.pv, batch, nil)
 	preds := make([]int, len(batch))
 	for j := range batch {
 		preds[j] = c.logits[j].ArgMax()

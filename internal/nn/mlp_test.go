@@ -235,7 +235,7 @@ func TestMLPBatchNormNormalizesActivations(t *testing.T) {
 	p := m.InitParams(r)
 	batch := randBatch(r, 32, 4, 2)
 	v := m.view(p)
-	c := m.forward(v, batch, nil)
+	c := m.forward(m.workspace(nil), v, batch, nil)
 	dim := 5
 	for f := 0; f < dim; f++ {
 		var mean float64

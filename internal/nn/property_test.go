@@ -88,7 +88,7 @@ func TestMLPGradPropertyRandomShapes(t *testing.T) {
 		// subgradient while central differences report 0.5. Skip draws
 		// whose pre-activations sit on (or numerically at) the kink —
 		// dead units make this exact-zero case common in deep stacks.
-		c := m.forward(m.view(p), batch, nil)
+		c := m.forward(m.workspace(nil), m.view(p), batch, nil)
 		for l := range c.preAct {
 			for j := range c.preAct[l] {
 				for _, x := range c.preAct[l][j] {

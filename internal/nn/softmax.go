@@ -29,10 +29,121 @@ type SoftmaxRegression struct {
 }
 
 var (
-	_ Model           = (*SoftmaxRegression)(nil)
-	_ HVPComputer     = (*SoftmaxRegression)(nil)
-	_ InputGradienter = (*SoftmaxRegression)(nil)
+	_ Model             = (*SoftmaxRegression)(nil)
+	_ HVPComputer       = (*SoftmaxRegression)(nil)
+	_ InputGradienter   = (*SoftmaxRegression)(nil)
+	_ WorkspaceProvider = (*SoftmaxRegression)(nil)
+	_ GradIntoer        = (*SoftmaxRegression)(nil)
+	_ HVPIntoer         = (*SoftmaxRegression)(nil)
+	_ InputGradIntoer   = (*SoftmaxRegression)(nil)
+	_ LossWither        = (*SoftmaxRegression)(nil)
 )
+
+// softmaxWorkspace owns the class-sized scratch vectors and the rebindable
+// matrix views of the softmax kernels, so the steady-state GradInto /
+// HVPInto / InputGradInto paths allocate nothing.
+type softmaxWorkspace struct {
+	classes, in int
+	p, u, a     tensor.Vec // probability / direction / curvature scratch
+	w, gw, vw   tensor.Mat // views rebound onto params / out / v per call
+	fdBufs
+}
+
+func (*softmaxWorkspace) isWorkspace() {}
+
+// NewWorkspace implements WorkspaceProvider.
+func (m *SoftmaxRegression) NewWorkspace() Workspace {
+	ws := &softmaxWorkspace{
+		classes: m.Classes,
+		in:      m.In,
+		p:       tensor.NewVec(m.Classes),
+		u:       tensor.NewVec(m.Classes),
+		a:       tensor.NewVec(m.Classes),
+	}
+	for _, mat := range []*tensor.Mat{&ws.w, &ws.gw, &ws.vw} {
+		mat.Rows, mat.Cols = m.Classes, m.In
+	}
+	return ws
+}
+
+// workspace returns ws as a softmax workspace matching m, creating a fresh
+// one when ws is nil or was built for a different model shape.
+func (m *SoftmaxRegression) workspace(ws Workspace) *softmaxWorkspace {
+	if s, ok := ws.(*softmaxWorkspace); ok && s.classes == m.Classes && s.in == m.In {
+		return s
+	}
+	return m.NewWorkspace().(*softmaxWorkspace)
+}
+
+// bindView points mat's storage at the weight block of the flat vector p
+// and returns the bias block. The shapes were fixed by NewWorkspace.
+func (m *SoftmaxRegression) bindView(mat *tensor.Mat, p tensor.Vec) tensor.Vec {
+	if len(p) != m.NumParams() {
+		panic(fmt.Sprintf("nn: SoftmaxRegression got %d params, want %d", len(p), m.NumParams()))
+	}
+	mat.Data = p[:m.Classes*m.In]
+	return p[m.Classes*m.In:]
+}
+
+// GradInto implements GradIntoer. out must not alias params.
+func (m *SoftmaxRegression) GradInto(ws Workspace, params tensor.Vec, batch []data.Sample, out tensor.Vec) {
+	s := m.workspace(ws)
+	b := m.bindView(&s.w, params)
+	gb := m.bindView(&s.gw, out)
+	out.Zero()
+	if len(batch) > 0 {
+		inv := 1 / float64(len(batch))
+		for _, smp := range batch {
+			m.probs(&s.w, b, smp.X, s.p)
+			s.p[smp.Y]--
+			s.gw.AddOuterInPlace(inv, s.p, smp.X)
+			gb.Axpy(inv, s.p)
+		}
+	}
+	if m.L2 != 0 {
+		out.Axpy(m.L2, params)
+	}
+}
+
+// HVPInto implements HVPIntoer: the analytic Hessian-vector product written
+// into out. out must alias neither params nor v.
+func (m *SoftmaxRegression) HVPInto(ws Workspace, params tensor.Vec, batch []data.Sample, v, out tensor.Vec) {
+	s := m.workspace(ws)
+	b := m.bindView(&s.w, params)
+	if len(v) != m.NumParams() {
+		panic(fmt.Sprintf("nn: HVP direction has %d entries, want %d", len(v), m.NumParams()))
+	}
+	vb := m.bindView(&s.vw, v)
+	ob := m.bindView(&s.gw, out)
+	out.Zero()
+	if len(batch) > 0 {
+		inv := 1 / float64(len(batch))
+		for _, smp := range batch {
+			m.probs(&s.w, b, smp.X, s.p)
+			s.vw.MulVec(smp.X, s.u)
+			s.u.AddInPlace(vb)
+			pu := s.p.Dot(s.u)
+			for c := range s.a {
+				s.a[c] = s.p[c]*s.u[c] - s.p[c]*pu
+			}
+			s.gw.AddOuterInPlace(inv, s.a, smp.X)
+			ob.Axpy(inv, s.a)
+		}
+	}
+	if m.L2 != 0 {
+		out.Axpy(m.L2, v)
+	}
+}
+
+// InputGradInto implements InputGradIntoer: ∇_x l(θ, (x, y)) = Wᵀ(p − e_y)
+// written into out (length m.In).
+func (m *SoftmaxRegression) InputGradInto(ws Workspace, params tensor.Vec, smp data.Sample, _ []data.Sample, out tensor.Vec) {
+	s := m.workspace(ws)
+	b := m.bindView(&s.w, params)
+	m.probs(&s.w, b, smp.X, s.p)
+	s.p[smp.Y]--
+	s.w.MulVecT(s.p, out)
+}
 
 // NumParams implements Model.
 func (m *SoftmaxRegression) NumParams() int { return m.Classes*m.In + m.Classes }
@@ -70,16 +181,24 @@ func (m *SoftmaxRegression) probs(w *tensor.Mat, b tensor.Vec, x tensor.Vec, out
 
 // Loss implements Model.
 func (m *SoftmaxRegression) Loss(params tensor.Vec, batch []data.Sample) float64 {
-	w, b := m.view(params)
+	return m.LossWith(nil, params, batch)
+}
+
+// LossWith implements LossWither.
+func (m *SoftmaxRegression) LossWith(ws Workspace, params tensor.Vec, batch []data.Sample) float64 {
+	if len(params) != m.NumParams() {
+		panic(fmt.Sprintf("nn: SoftmaxRegression got %d params, want %d", len(params), m.NumParams()))
+	}
 	if len(batch) == 0 {
 		return m.l2Term(params)
 	}
-	logits := tensor.NewVec(m.Classes)
+	s := m.workspace(ws)
+	b := m.bindView(&s.w, params)
 	var total float64
-	for _, s := range batch {
-		w.MulVec(s.X, logits)
-		logits.AddInPlace(b)
-		total += tensor.CrossEntropyFromLogits(logits, s.Y)
+	for _, smp := range batch {
+		s.w.MulVec(smp.X, s.u)
+		s.u.AddInPlace(b)
+		total += tensor.CrossEntropyFromLogits(s.u, smp.Y)
 	}
 	return total/float64(len(batch)) + m.l2Term(params)
 }
@@ -91,24 +210,10 @@ func (m *SoftmaxRegression) l2Term(params tensor.Vec) float64 {
 	return 0.5 * m.L2 * params.Dot(params)
 }
 
-// Grad implements Model.
+// Grad implements Model. It is the allocating wrapper over GradInto.
 func (m *SoftmaxRegression) Grad(params tensor.Vec, batch []data.Sample) tensor.Vec {
-	w, b := m.view(params)
 	g := tensor.NewVec(m.NumParams())
-	gw, gb := m.view(g)
-	if len(batch) > 0 {
-		inv := 1 / float64(len(batch))
-		p := tensor.NewVec(m.Classes)
-		for _, s := range batch {
-			m.probs(w, b, s.X, p)
-			p[s.Y]--
-			gw.AddOuterInPlace(inv, p, s.X)
-			gb.Axpy(inv, p)
-		}
-	}
-	if m.L2 != 0 {
-		g.Axpy(m.L2, params)
-	}
+	m.GradInto(nil, params, batch, g)
 	return g
 }
 
@@ -117,47 +222,16 @@ func (m *SoftmaxRegression) Grad(params tensor.Vec, batch []data.Sample) tensor.
 // perturbation direction (V, v), let u = Vx + v; then
 // ∇²l · (V, v) = ((p∘u − p(pᵀu)) xᵀ, p∘u − p(pᵀu)).
 func (m *SoftmaxRegression) HVP(params tensor.Vec, batch []data.Sample, v tensor.Vec) tensor.Vec {
-	w, b := m.view(params)
-	if len(v) != m.NumParams() {
-		panic(fmt.Sprintf("nn: HVP direction has %d entries, want %d", len(v), m.NumParams()))
-	}
-	vw := tensor.MatFromData(m.Classes, m.In, v[:m.Classes*m.In])
-	vb := v[m.Classes*m.In:]
-
 	out := tensor.NewVec(m.NumParams())
-	ow, ob := m.view(out)
-	if len(batch) > 0 {
-		inv := 1 / float64(len(batch))
-		p := tensor.NewVec(m.Classes)
-		u := tensor.NewVec(m.Classes)
-		a := tensor.NewVec(m.Classes)
-		for _, s := range batch {
-			m.probs(w, b, s.X, p)
-			vw.MulVec(s.X, u)
-			u.AddInPlace(vb)
-			pu := p.Dot(u)
-			for c := range a {
-				a[c] = p[c]*u[c] - p[c]*pu
-			}
-			ow.AddOuterInPlace(inv, a, s.X)
-			ob.Axpy(inv, a)
-		}
-	}
-	if m.L2 != 0 {
-		out.Axpy(m.L2, v)
-	}
+	m.HVPInto(nil, params, batch, v, out)
 	return out
 }
 
 // InputGrad implements InputGradienter: ∇_x l(θ, (x, y)) = Wᵀ(p − e_y).
 // The ctx batch is unused (softmax regression has no batch statistics).
 func (m *SoftmaxRegression) InputGrad(params tensor.Vec, s data.Sample, _ []data.Sample) tensor.Vec {
-	w, b := m.view(params)
-	p := tensor.NewVec(m.Classes)
-	m.probs(w, b, s.X, p)
-	p[s.Y]--
 	out := tensor.NewVec(m.In)
-	w.MulVecT(p, out)
+	m.InputGradInto(nil, params, s, nil, out)
 	return out
 }
 

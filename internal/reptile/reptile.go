@@ -37,7 +37,9 @@ type Config struct {
 	Rounds int
 	// Seed drives the default initialization.
 	Seed uint64
-	// OnRound, when non-nil, is invoked after every round.
+	// OnRound, when non-nil, is invoked after every round. theta is a
+	// reused buffer, overwritten next round: borrowed for the duration of
+	// the call, Clone to retain.
 	OnRound func(round int, theta tensor.Vec)
 }
 
@@ -84,7 +86,21 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 
 	weights := fed.Weights()
 	theta := theta0.Clone()
+	// Per-node persistent scratch reused across rounds: one workspace, the
+	// adapted parameters φ_i, and a gradient buffer per goroutine.
+	type nodeScratch struct {
+		ws  nn.Workspace
+		phi tensor.Vec
+		g   tensor.Vec
+	}
+	np := m.NumParams()
+	scratch := make([]nodeScratch, len(fed.Sources))
 	adapted := make([]tensor.Vec, len(fed.Sources))
+	for i := range scratch {
+		scratch[i] = nodeScratch{ws: nn.NewWorkspace(m), phi: tensor.NewVec(np), g: tensor.NewVec(np)}
+		adapted[i] = scratch[i].phi
+	}
+	avg := tensor.NewVec(np)
 	nodeErrs := make([]error, len(fed.Sources))
 	for round := 1; round <= cfg.Rounds; round++ {
 		// Inner runs are independent; execute them in parallel and keep the
@@ -94,15 +110,15 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 			wg.Add(1)
 			go func(i int, nd *data.NodeDataset) {
 				defer wg.Done()
-				phi := theta.Clone()
+				sc := &scratch[i]
+				sc.phi.CopyFrom(theta)
 				for s := 0; s < cfg.InnerSteps; s++ {
-					phi.Axpy(-cfg.InnerLR, m.Grad(phi, nd.Train))
+					nn.GradInto(m, sc.ws, sc.phi, nd.Train, sc.g)
+					sc.phi.Axpy(-cfg.InnerLR, sc.g)
 				}
-				if !phi.IsFinite() {
+				if !sc.phi.IsFinite() {
 					nodeErrs[i] = fmt.Errorf("reptile: node %d diverged in round %d", i, round)
-					return
 				}
-				adapted[i] = phi
 			}(i, nd)
 		}
 		wg.Wait()
@@ -111,7 +127,7 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 				return nil, err
 			}
 		}
-		avg := tensor.WeightedSum(weights, adapted)
+		tensor.WeightedSumInto(avg, weights, adapted)
 		// θ ← (1−ε)θ + ε·avg.
 		theta.ScaleInPlace(1 - cfg.MetaLR)
 		theta.Axpy(cfg.MetaLR, avg)

@@ -1,0 +1,84 @@
+package tensor
+
+import "testing"
+
+func TestAddSubScaleInto(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{10, 20, 30}
+	out := NewVec(3)
+
+	v.AddInto(w, out)
+	if out.Dist(Vec{11, 22, 33}) != 0 {
+		t.Errorf("AddInto = %v", out)
+	}
+	v.SubInto(w, out)
+	if out.Dist(Vec{-9, -18, -27}) != 0 {
+		t.Errorf("SubInto = %v", out)
+	}
+	v.ScaleInto(2, out)
+	if out.Dist(Vec{2, 4, 6}) != 0 {
+		t.Errorf("ScaleInto = %v", out)
+	}
+	// Inputs are untouched.
+	if v.Dist(Vec{1, 2, 3}) != 0 || w.Dist(Vec{10, 20, 30}) != 0 {
+		t.Errorf("inputs mutated: v=%v w=%v", v, w)
+	}
+}
+
+func TestIntoOpsAliasing(t *testing.T) {
+	// out may alias either input.
+	a := Vec{1, 2, 3}
+	a.AddInto(Vec{1, 1, 1}, a)
+	if a.Dist(Vec{2, 3, 4}) != 0 {
+		t.Errorf("AddInto aliased = %v", a)
+	}
+	b := Vec{5, 6, 7}
+	Vec{1, 1, 1}.SubInto(b, b)
+	if b.Dist(Vec{-4, -5, -6}) != 0 {
+		t.Errorf("SubInto aliased = %v", b)
+	}
+	c := Vec{1, 2, 3}
+	c.ScaleInto(3, c)
+	if c.Dist(Vec{3, 6, 9}) != 0 {
+		t.Errorf("ScaleInto aliased = %v", c)
+	}
+}
+
+func TestWeightedSumIntoOverwrites(t *testing.T) {
+	out := Vec{99, 99} // stale contents must not leak through
+	WeightedSumInto(out, []float64{0.5, 2}, []Vec{{1, 2}, {10, 20}})
+	if out.Dist(Vec{20.5, 41}) != 0 {
+		t.Errorf("WeightedSumInto = %v", out)
+	}
+	WeightedSumInto(out, nil, nil)
+	if out.Dist(Vec{0, 0}) != 0 {
+		t.Errorf("empty WeightedSumInto = %v, want zeros", out)
+	}
+}
+
+func TestWeightedSumIntoMatchesWeightedSum(t *testing.T) {
+	weights := []float64{0.3, 0.5, 0.2}
+	vs := []Vec{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	out := NewVec(3)
+	WeightedSumInto(out, weights, vs)
+	if d := out.Dist(WeightedSum(weights, vs)); d != 0 {
+		t.Errorf("WeightedSumInto differs from WeightedSum by %g", d)
+	}
+}
+
+func TestWeightedSumIntoPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("weight/vector count mismatch", func() {
+		WeightedSumInto(NewVec(2), []float64{1}, []Vec{{1, 2}, {3, 4}})
+	})
+	mustPanic("length mismatch", func() {
+		WeightedSumInto(NewVec(2), []float64{1}, []Vec{{1, 2, 3}})
+	})
+}

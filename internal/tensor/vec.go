@@ -67,6 +67,34 @@ func (v Vec) Sub(w Vec) Vec {
 	return out
 }
 
+// AddInto sets out = v + w. out must have the same length as v and w; it
+// may alias either input.
+func (v Vec) AddInto(w, out Vec) {
+	checkLen("AddInto", v, w)
+	checkLen("AddInto", v, out)
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+}
+
+// SubInto sets out = v - w. out must have the same length as v and w; it
+// may alias either input.
+func (v Vec) SubInto(w, out Vec) {
+	checkLen("SubInto", v, w)
+	checkLen("SubInto", v, out)
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+}
+
+// ScaleInto sets out = c*v. out may alias v.
+func (v Vec) ScaleInto(c float64, out Vec) {
+	checkLen("ScaleInto", v, out)
+	for i := range v {
+		out[i] = c * v[i]
+	}
+}
+
 // AddInPlace sets v = v + w.
 func (v Vec) AddInPlace(w Vec) {
 	checkLen("AddInPlace", v, w)
@@ -188,21 +216,32 @@ func (v Vec) IsFinite() bool {
 // must share one length; len(weights) must equal len(vs). This is the
 // platform's global-aggregation kernel (Eq. 5 in the paper).
 func WeightedSum(weights []float64, vs []Vec) Vec {
-	if len(weights) != len(vs) {
-		panic(fmt.Sprintf("tensor: WeightedSum got %d weights for %d vectors", len(weights), len(vs)))
-	}
 	if len(vs) == 0 {
+		if len(weights) != 0 {
+			panic(fmt.Sprintf("tensor: WeightedSum got %d weights for 0 vectors", len(weights)))
+		}
 		return nil
 	}
 	out := make(Vec, len(vs[0]))
+	WeightedSumInto(out, weights, vs)
+	return out
+}
+
+// WeightedSumInto overwrites out with sum_i weights[i]*vs[i]. All vectors
+// must share out's length; len(weights) must equal len(vs). out must not
+// alias any vs[k]. With no vectors out is zeroed.
+func WeightedSumInto(out Vec, weights []float64, vs []Vec) {
+	if len(weights) != len(vs) {
+		panic(fmt.Sprintf("tensor: WeightedSumInto got %d weights for %d vectors", len(weights), len(vs)))
+	}
+	out.Zero()
 	for k, v := range vs {
-		checkLen("WeightedSum", out, v)
+		checkLen("WeightedSumInto", out, v)
 		w := weights[k]
 		for i := range v {
 			out[i] += w * v[i]
 		}
 	}
-	return out
 }
 
 func checkLen(op string, a, b Vec) {

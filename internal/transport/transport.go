@@ -42,6 +42,14 @@ func (k Kind) String() string {
 }
 
 // Msg is one message between the platform and a node.
+//
+// Ownership of the Params slice transfers to the receiver when the message
+// is sent: after Send returns, the sender must neither read nor mutate the
+// slice, and the receiver may retain it indefinitely. This matters because
+// the in-memory link passes slices by reference (no serialization) and the
+// senders in internal/core reuse their parameter buffers across rounds — a
+// sender that keeps writing into a sent slice would corrupt the receiver's
+// copy. Senders that want to keep using a buffer must Send a Clone.
 type Msg struct {
 	Kind   Kind      `json:"kind"`
 	Round  int       `json:"round"`
@@ -58,6 +66,13 @@ type Msg struct {
 // Link is one endpoint of a bidirectional, ordered, reliable message pipe.
 // Send and Recv may be used from different goroutines, but neither is safe
 // for concurrent use with itself.
+//
+// Implementations must honor the Msg.Params ownership contract: a message
+// handed to Send belongs to the far endpoint from that moment on, and a
+// message returned by Recv belongs to the caller. Implementations may pass
+// the Params slice through by reference (the in-memory pipe does) or copy
+// it (the TCP pipe serializes); callers cannot tell the difference as long
+// as they respect the contract.
 type Link interface {
 	Send(Msg) error
 	Recv() (Msg, error)
