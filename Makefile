@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short check bench bench-json bench-paper fuzz examples clean
+.PHONY: all build vet test test-race test-short check chaos-smoke bench bench-json bench-paper fuzz examples clean
 
 all: build vet test
 
@@ -29,6 +29,13 @@ test-short:
 
 test-race:
 	$(GO) test -race ./...
+
+# End-to-end fault-tolerance smoke: a federation survives a scripted node
+# crash + rejoin and a corrupted update (rejected by the sanitation guard).
+chaos-smoke:
+	$(GO) run ./cmd/fedml train -dataset synthetic -nodes 6 -k 3 -t 30 -t0 5 \
+		-seed 7 -round-timeout 500ms -guard 25 \
+		-chaos "1:kill@2,1:revive@4,2:corrupt@3" -chaos-seed 11
 
 # One testing.B per paper table/figure plus ablations (see bench_test.go).
 bench:

@@ -17,6 +17,7 @@
 //
 //	fedml train -dataset synthetic -t 500 -t0 10
 //	fedml train -dataset mnist -robust -lambda 0.01
+//	fedml train -t 60 -round-timeout 500ms -guard 25 -chaos "1:kill@2,1:revive@5,2:corrupt@4"
 //
 //	fedml platform -addr :7001 -dataset synthetic -nodes 8
 //	for i in $(seq 0 7); do fedml node -addr localhost:7001 -dataset synthetic -id $i & done
@@ -27,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"github.com/edgeai/fedml/internal/checkpoint"
 	"github.com/edgeai/fedml/internal/core"
@@ -160,6 +162,80 @@ func (c *commonFlags) buildWorkload() (*data.Federation, nn.Model, error) {
 	}
 }
 
+// faultFlags holds the resilience and chaos-injection flags shared by the
+// train and platform modes.
+type faultFlags struct {
+	roundTimeout time.Duration
+	minNodes     int
+	guard        float64
+	statePath    string
+	stateEvery   int
+	resume       bool
+	chaosSpec    string
+	chaosSeed    uint64
+	chaosDrop    float64
+	chaosCorrupt float64
+	chaosLatency time.Duration
+	chaosJitter  time.Duration
+}
+
+func addFaultFlags(fs *flag.FlagSet) *faultFlags {
+	f := &faultFlags{}
+	fs.DurationVar(&f.roundTimeout, "round-timeout", 0, "per-operation deadline enabling fault-tolerant rounds with drop/rejoin (0 = strict)")
+	fs.IntVar(&f.minNodes, "min-nodes", 0, "abort a fault-tolerant run when fewer nodes remain alive (0 means 1)")
+	fs.Float64Var(&f.guard, "guard", 0, "sanitation guard radius relative to broadcast θ (0 disables the norm guard)")
+	fs.StringVar(&f.statePath, "state", "", "snapshot (round, iter, θ, stats) to this file for crash recovery")
+	fs.IntVar(&f.stateEvery, "state-every", 1, "with -state: snapshot every N aggregated rounds")
+	fs.BoolVar(&f.resume, "resume", false, "resume from the -state snapshot when it exists")
+	fs.StringVar(&f.chaosSpec, "chaos", "", `scripted faults "<node>:<op>@<round>,..." with ops kill, revive, part-send, part-recv, heal, corrupt, drop, send-err`)
+	fs.Uint64Var(&f.chaosSeed, "chaos-seed", 1, "seed for the injected-fault random streams")
+	fs.Float64Var(&f.chaosDrop, "chaos-drop", 0, "per-message drop probability")
+	fs.Float64Var(&f.chaosCorrupt, "chaos-corrupt", 0, "per-update payload corruption probability")
+	fs.DurationVar(&f.chaosLatency, "chaos-latency", 0, "mean injected per-message latency")
+	fs.DurationVar(&f.chaosJitter, "chaos-jitter", 0, "injected latency jitter")
+	return f
+}
+
+// apply folds the fault flags into cfg, building the chaos link wrapper when
+// any injection was requested.
+func (f *faultFlags) apply(cfg *core.Config) error {
+	cfg.RoundTimeout = f.roundTimeout
+	cfg.MinNodes = f.minNodes
+	cfg.GuardRadius = f.guard
+	cfg.CheckpointPath = f.statePath
+	cfg.CheckpointEvery = f.stateEvery
+	cfg.Resume = f.resume
+	chaosOn := f.chaosSpec != "" || f.chaosDrop > 0 || f.chaosCorrupt > 0 ||
+		f.chaosLatency > 0 || f.chaosJitter > 0
+	if !chaosOn {
+		return nil
+	}
+	events, err := transport.ParseScenario(f.chaosSpec)
+	if err != nil {
+		return err
+	}
+	cfg.WrapLink = func(i int, l transport.Link) transport.Link {
+		return transport.NewChaos(l, transport.ChaosConfig{
+			Seed:        f.chaosSeed + uint64(i)*0x9e3779b9,
+			DropProb:    f.chaosDrop,
+			CorruptProb: f.chaosCorrupt,
+			Latency:     f.chaosLatency,
+			Jitter:      f.chaosJitter,
+			Scenario:    events[i],
+		})
+	}
+	return nil
+}
+
+// printResilience summarizes the fault accounting of a finished run.
+func printResilience(stats core.CommStats) {
+	if stats.Dropped+stats.Rejoined+stats.Rejected+stats.SkippedRounds == 0 {
+		return
+	}
+	fmt.Printf("resilience: %d dropped, %d rejoined, %d updates rejected, %d rounds skipped\n",
+		stats.Dropped, stats.Rejoined, stats.Rejected, stats.SkippedRounds)
+}
+
 func (c *commonFlags) trainConfig(track func(round, iter int, theta tensor.Vec)) core.Config {
 	cfg := core.Config{
 		Alpha: c.alpha, Beta: c.beta, T: c.t, T0: c.t0, Seed: c.seed,
@@ -177,6 +253,7 @@ func (c *commonFlags) trainConfig(track func(round, iter int, theta tensor.Vec))
 func runTrain(args []string) error {
 	fs := flag.NewFlagSet("fedml train", flag.ContinueOnError)
 	c := addCommonFlags(fs)
+	ff := addFaultFlags(fs)
 	adaptSteps := fs.Int("adapt-steps", 5, "fast-adaptation gradient steps at target nodes")
 	savePath := fs.String("save", "", "write the trained meta-model checkpoint to this path")
 	if err := fs.Parse(args); err != nil {
@@ -196,12 +273,16 @@ func runTrain(args []string) error {
 				round, iter, eval.GlobalMetaObjective(m, fed, c.alpha, theta))
 		}
 	})
+	if err := ff.apply(&cfg); err != nil {
+		return err
+	}
 	res, err := core.Train(m, fed, nil, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("training done: %d rounds, %d messages, %.1f KiB transferred\n",
 		res.Comm.Rounds, res.Comm.Messages, float64(res.Comm.Bytes)/1024)
+	printResilience(res.Comm)
 
 	curve := eval.AverageAdaptationCurve(m, res.Theta, fed.Targets, c.alpha, *adaptSteps)
 	fmt.Println("fast adaptation at held-out target nodes:")
@@ -288,6 +369,7 @@ func ckModelInputDim(m nn.Model) int {
 func runPlatform(args []string) error {
 	fs := flag.NewFlagSet("fedml platform", flag.ContinueOnError)
 	c := addCommonFlags(fs)
+	ff := addFaultFlags(fs)
 	addr := fs.String("addr", ":7001", "listen address for node connections")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -328,11 +410,22 @@ func runPlatform(args []string) error {
 		fmt.Printf("round %4d (iter %5d): G(θ) = %.4f\n",
 			round, iter, eval.GlobalMetaObjective(m, fed, c.alpha, theta))
 	})
+	if err := ff.apply(&cfg); err != nil {
+		return err
+	}
+	// RunPlatform takes pre-built links, so the chaos wrapper (normally
+	// applied by Train) is applied here.
+	if cfg.WrapLink != nil {
+		for i := range links {
+			links[i] = cfg.WrapLink(i, links[i])
+		}
+	}
 	theta, stats, err := core.RunPlatform(links, weights, theta0, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("done: %d rounds, %d messages, %.1f KiB\n", stats.Rounds, stats.Messages, float64(stats.Bytes)/1024)
+	printResilience(stats)
 
 	curve := eval.AverageAdaptationCurve(m, theta, fed.Targets, c.alpha, 5)
 	fmt.Println("fast adaptation at held-out target nodes:")
@@ -347,6 +440,9 @@ func runNode(args []string) error {
 	c := addCommonFlags(fs)
 	addr := fs.String("addr", "localhost:7001", "platform address")
 	id := fs.Int("id", 0, "this node's index among the federation's source nodes")
+	retries := fs.Int("retries", 0, "retry attempts for transient link errors (0 = fail fast)")
+	retryBase := fs.Duration("retry-base", 20*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
+	redial := fs.Bool("redial", false, "re-dial the platform between retry attempts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -365,12 +461,17 @@ func runNode(args []string) error {
 	defer link.Close()
 	fmt.Printf("node %d connected to %s (%d local samples)\n", *id, *addr, fed.Sources[*id].Size())
 
-	err = core.RunNode(link, core.NodeConfig{
+	nc := core.NodeConfig{
 		ID:     *id,
 		Model:  m,
 		Data:   fed.Sources[*id],
 		Shared: c.trainConfig(nil),
-	})
+		Retry:  core.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},
+	}
+	if *redial {
+		nc.Redial = func() (transport.Link, error) { return transport.Dial(*addr) }
+	}
+	err = core.RunNode(link, nc)
 	if err != nil {
 		return err
 	}

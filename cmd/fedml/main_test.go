@@ -119,6 +119,68 @@ func TestMaxInt(t *testing.T) {
 	}
 }
 
+// quiet redirects stdout to /dev/null for the duration of fn.
+func quiet(t *testing.T, fn func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+	return fn()
+}
+
+func TestTrainWithChaosScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos CLI run in -short mode")
+	}
+	err := quiet(t, func() error {
+		return run([]string{"train", "-dataset", "synthetic", "-nodes", "6", "-k", "3",
+			"-t", "30", "-t0", "5", "-seed", "7",
+			"-round-timeout", "500ms", "-guard", "25",
+			"-chaos", "1:kill@2,1:revive@4,2:corrupt@3", "-chaos-seed", "11"})
+	})
+	if err != nil {
+		t.Fatalf("chaos train: %v", err)
+	}
+}
+
+func TestTrainRejectsBadChaosScenario(t *testing.T) {
+	err := run([]string{"train", "-t", "10", "-t0", "5",
+		"-round-timeout", "100ms", "-chaos", "1:explode@2"})
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Errorf("bad scenario: %v", err)
+	}
+}
+
+func TestTrainCheckpointAndResume(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "run.state")
+	args := []string{"train", "-dataset", "synthetic", "-nodes", "6", "-k", "3",
+		"-t", "20", "-t0", "5", "-seed", "3", "-state", statePath}
+	if err := quiet(t, func() error { return run(args) }); err != nil {
+		t.Fatalf("train with -state: %v", err)
+	}
+	if _, err := os.Stat(statePath); err != nil {
+		t.Fatalf("run state not written: %v", err)
+	}
+	// Resuming from the completed run's snapshot must succeed (the platform
+	// sees the final round already done and finishes immediately).
+	if err := quiet(t, func() error { return run(append(args, "-resume")) }); err != nil {
+		t.Fatalf("train -resume: %v", err)
+	}
+}
+
+func TestTrainResumeRequiresState(t *testing.T) {
+	if err := run([]string{"train", "-t", "10", "-t0", "5", "-resume"}); err == nil {
+		t.Error("-resume without -state accepted")
+	}
+}
+
 func TestTrainFromCSV(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := filepath.Join(dir, "d.csv")

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"github.com/edgeai/fedml/internal/data"
 	"github.com/edgeai/fedml/internal/dro"
@@ -11,6 +14,40 @@ import (
 	"github.com/edgeai/fedml/internal/tensor"
 	"github.com/edgeai/fedml/internal/transport"
 )
+
+// RetryPolicy controls how a node handles transient link failures: each
+// failed Send/Recv is retried after an exponentially growing, jittered
+// delay. The zero value disables retrying (any link error is fatal, the
+// pre-existing behavior).
+type RetryPolicy struct {
+	// MaxAttempts is the number of retries per operation; 0 disables.
+	MaxAttempts int
+	// BaseDelay is the first backoff delay. Zero means 20ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means 2s.
+	MaxDelay time.Duration
+}
+
+func (r RetryPolicy) normalized() RetryPolicy {
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = 20 * time.Millisecond
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = 2 * time.Second
+	}
+	return r
+}
+
+// backoff returns the jittered delay before retry attempt k (0-based):
+// BaseDelay·2^k, capped at MaxDelay, with up to 50% multiplicative jitter so
+// a fleet of rejoining nodes does not thunder back in lockstep.
+func (r RetryPolicy) backoff(k int, rand *rng.Rand) time.Duration {
+	d := math.Ldexp(float64(r.BaseDelay), k)
+	if max := float64(r.MaxDelay); d > max {
+		d = max
+	}
+	return time.Duration(d * (1 + 0.5*rand.Float64()))
+}
 
 // NodeConfig identifies one source edge node.
 type NodeConfig struct {
@@ -24,12 +61,68 @@ type NodeConfig struct {
 	// Shared holds the algorithm hyper-parameters (must match the
 	// platform's).
 	Shared Config
+	// Retry, when enabled, makes the node ride out transient link errors
+	// with exponential backoff instead of dying on the first hiccup.
+	Retry RetryPolicy
+	// Redial, when non-nil, is invoked between retry attempts to establish
+	// a replacement link (e.g. transport.Dial back to the platform after a
+	// TCP connection died). The old link is closed first. Without Redial, a
+	// closed link is permanent and retrying stops early.
+	Redial func() (transport.Link, error)
+}
+
+// nodeLink wraps the node's endpoint with the retry/redial policy: failed
+// operations back off exponentially (with jitter) and, when a Redial hook is
+// configured, each retry attempt runs over a freshly established link.
+type nodeLink struct {
+	link   transport.Link
+	retry  RetryPolicy
+	redial func() (transport.Link, error)
+	rand   *rng.Rand
+}
+
+// do runs op with retries per the policy. Without a redial hook a closed
+// link is permanent, so retrying stops early instead of spinning.
+func (l *nodeLink) do(op func(transport.Link) error) error {
+	err := op(l.link)
+	for k := 0; err != nil && k < l.retry.MaxAttempts; k++ {
+		if l.redial == nil && errors.Is(err, transport.ErrClosed) {
+			return err
+		}
+		time.Sleep(l.retry.backoff(k, l.rand))
+		if l.redial != nil {
+			fresh, derr := l.redial()
+			if derr != nil {
+				err = fmt.Errorf("redial: %w", derr)
+				continue
+			}
+			_ = l.link.Close()
+			l.link = fresh
+		}
+		err = op(l.link)
+	}
+	return err
+}
+
+func (l *nodeLink) recv() (transport.Msg, error) {
+	var m transport.Msg
+	err := l.do(func(lk transport.Link) error {
+		var e error
+		m, e = lk.Recv()
+		return e
+	})
+	return m, err
+}
+
+func (l *nodeLink) send(m transport.Msg) error {
+	return l.do(func(lk transport.Link) error { return lk.Send(m) })
 }
 
 // RunNode executes the node side of Algorithm 1 (or Algorithm 2 when
 // Shared.Robust is set) over link, until the platform sends KindDone or the
-// link fails. Any node-side failure is reported to the platform as a
-// KindError message before returning.
+// link fails. Transient link errors are retried per nc.Retry (with
+// nc.Redial re-establishing the connection when set); any node-side failure
+// is reported to the platform as a KindError message before returning.
 func RunNode(link transport.Link, nc NodeConfig) error {
 	cfg := nc.Shared.normalized()
 	if err := cfg.Validate(); err != nil {
@@ -40,9 +133,17 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 	}
 
 	n := newNodeState(cfg, nc.Model, nc.Data, nc.ID)
+	// The retry jitter draws from its own stream so backoff timing can
+	// never perturb the node's training randomness.
+	nl := &nodeLink{
+		link:   link,
+		retry:  nc.Retry.normalized(),
+		redial: nc.Redial,
+		rand:   rng.New(cfg.Seed).Split(uint64(nc.ID) + 0x5e7241),
+	}
 
 	for {
-		msg, err := link.Recv()
+		msg, err := nl.recv()
 		if err != nil {
 			return fmt.Errorf("core: node %d recv: %w", nc.ID, err)
 		}
@@ -58,7 +159,7 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 			if err != nil {
 				// Report the failure to the platform so it can abort the
 				// round instead of hanging.
-				_ = link.Send(transport.Msg{
+				_ = nl.send(transport.Msg{
 					Kind:   transport.KindError,
 					Round:  msg.Round,
 					NodeID: nc.ID,
@@ -69,7 +170,7 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 			// Ownership of Msg.Params transfers to the receiver on Send
 			// (see transport.Msg); theta is the node's reusable buffer, so
 			// a copy must cross the boundary.
-			if err := link.Send(transport.Msg{
+			if err := nl.send(transport.Msg{
 				Kind:   transport.KindUpdate,
 				Round:  msg.Round,
 				NodeID: nc.ID,

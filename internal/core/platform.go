@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"time"
 
+	"github.com/edgeai/fedml/internal/checkpoint"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 	"github.com/edgeai/fedml/internal/transport"
@@ -19,17 +22,32 @@ type CommStats struct {
 	Messages int
 	// Bytes is the payload volume, counting 8 bytes per parameter.
 	Bytes int64
-	// Dropped counts nodes removed by fault-tolerant rounds.
+	// Dropped counts nodes removed by fault-tolerant rounds. A node can be
+	// dropped, rejoin, and be dropped again; each removal counts.
 	Dropped int
+	// Rejoined counts suspect nodes re-admitted after answering a re-probe.
+	Rejoined int
+	// Rejected counts updates discarded by the sanitation guard (non-finite
+	// values or norm explosions past Config.GuardRadius).
+	Rejected int
+	// SkippedRounds counts fault-tolerant rounds that produced no usable
+	// update and therefore aggregated nothing.
+	SkippedRounds int
 }
+
+// maxConsecutiveSkips bounds how many rounds in a row the fault-tolerant
+// platform tolerates without a single usable update before giving up.
+const maxConsecutiveSkips = 8
 
 // linkOps abstracts per-node I/O so the strict synchronous path and the
 // fault-tolerant (deadline-bounded) path share the round loop.
 type linkOps interface {
+	// send transmits with the full round deadline (strict: blocking).
 	send(i int, m transport.Msg) error
-	recv(i int) (transport.Msg, error)
-	// drop stops communicating with node i (fault-tolerant mode only).
-	drop(i int)
+	// trySend transmits with an explicit deadline (strict: blocking).
+	trySend(i int, m transport.Msg, d time.Duration) error
+	// recv waits for a message with an explicit deadline (strict: blocking).
+	recv(i int, d time.Duration) (transport.Msg, error)
 	// finish releases any resources the ops layer created.
 	finish()
 }
@@ -40,12 +58,16 @@ type syncOps struct{ links []transport.Link }
 var _ linkOps = syncOps{}
 
 func (s syncOps) send(i int, m transport.Msg) error { return s.links[i].Send(m) }
-func (s syncOps) recv(i int) (transport.Msg, error) { return s.links[i].Recv() }
-func (syncOps) drop(int)                            {}
-func (syncOps) finish()                             {}
+func (s syncOps) trySend(i int, m transport.Msg, _ time.Duration) error {
+	return s.links[i].Send(m)
+}
+func (s syncOps) recv(i int, _ time.Duration) (transport.Msg, error) { return s.links[i].Recv() }
+func (syncOps) finish()                                              {}
 
 // asyncOps is the fault-tolerant path: every link gets goroutine pumps and
 // every operation a deadline, so dead or slow nodes cannot stall a round.
+// Links of dropped nodes stay open so the platform can re-probe and re-admit
+// nodes that come back; everything is closed by finish.
 type asyncOps struct {
 	wrapped []*transport.Async
 	timeout time.Duration
@@ -57,16 +79,158 @@ func (a *asyncOps) send(i int, m transport.Msg) error {
 	return a.wrapped[i].TrySend(m, a.timeout)
 }
 
-func (a *asyncOps) recv(i int) (transport.Msg, error) {
-	return a.wrapped[i].TryRecv(a.timeout)
+func (a *asyncOps) trySend(i int, m transport.Msg, d time.Duration) error {
+	return a.wrapped[i].TrySend(m, d)
 }
 
-func (a *asyncOps) drop(i int) { _ = a.wrapped[i].Close() }
+func (a *asyncOps) recv(i int, d time.Duration) (transport.Msg, error) {
+	return a.wrapped[i].TryRecv(d)
+}
 
 func (a *asyncOps) finish() {
 	for _, w := range a.wrapped {
 		_ = w.Close()
 	}
+}
+
+// platformRun carries the mutable state of one RunPlatform execution.
+type platformRun struct {
+	c       Config
+	ops     linkOps
+	ft      bool
+	probeTO time.Duration
+	logf    func(format string, args ...any)
+
+	theta    tensor.Vec
+	alive    []bool
+	aliveCnt int
+	// expectID pins each link to the NodeID its first valid update claimed
+	// (-1 until bound); boundBy is the reverse map. Together they reject
+	// misrouted or duplicated updates that would otherwise aggregate
+	// silently under the wrong weight.
+	expectID []int
+	boundBy  map[int]int
+
+	stats CommStats
+}
+
+// markSuspect removes node i from the active set. In fault-tolerant mode the
+// link stays open and the node is re-probed every following round.
+func (p *platformRun) markSuspect(i, round int, cause error) {
+	if !p.alive[i] {
+		return
+	}
+	p.alive[i] = false
+	p.aliveCnt--
+	p.stats.Dropped++
+	p.logf("core: dropped node %d in round %d (%d alive): %v", i, round, p.aliveCnt, cause)
+}
+
+// rejoin re-admits a suspect node that answered a re-probe.
+func (p *platformRun) rejoin(i, round int) {
+	p.alive[i] = true
+	p.aliveCnt++
+	p.stats.Rejoined++
+	p.logf("core: node %d rejoined in round %d (%d alive)", i, round, p.aliveCnt)
+}
+
+// bindNodeID validates the claimed NodeID of an update from link i against
+// the binding learned from that link's first update.
+func (p *platformRun) bindNodeID(i, id int) error {
+	if prev := p.expectID[i]; prev >= 0 {
+		if id != prev {
+			return fmt.Errorf("%w: link %d update claims node %d, but the link is bound to node %d", ErrProtocol, i, id, prev)
+		}
+		return nil
+	}
+	if other, taken := p.boundBy[id]; taken && other != i {
+		return fmt.Errorf("%w: node id %d claimed by links %d and %d (misrouted or duplicated update)", ErrProtocol, id, other, i)
+	}
+	p.expectID[i] = id
+	p.boundBy[id] = i
+	return nil
+}
+
+// gatherFrom waits up to d for link i's update to the given round,
+// validating protocol shape and NodeID binding. In fault-tolerant mode it
+// drains stale answers to earlier rounds (late replies from a node that
+// was dropped and is coming back) instead of treating them as violations.
+func (p *platformRun) gatherFrom(i, round int, d time.Duration) (transport.Msg, error) {
+	deadline := time.Now().Add(d)
+	for {
+		remain := d
+		if p.ft {
+			remain = time.Until(deadline)
+			if remain <= 0 {
+				return transport.Msg{}, fmt.Errorf("core: gather round %d from node %d: %w", round, i, transport.ErrTimeout)
+			}
+		}
+		msg, err := p.ops.recv(i, remain)
+		if err != nil {
+			return transport.Msg{}, fmt.Errorf("core: gather round %d from node %d: %w", round, i, err)
+		}
+		switch {
+		case msg.Kind == transport.KindError:
+			return transport.Msg{}, fmt.Errorf("core: node %d failed in round %d: %s", msg.NodeID, round, msg.Err)
+		case msg.Kind != transport.KindUpdate:
+			return transport.Msg{}, fmt.Errorf("%w: expected update, got %v from node %d", ErrProtocol, msg.Kind, i)
+		}
+		if msg.Round != round {
+			if p.ft && msg.Round < round {
+				p.logf("core: discarding stale round-%d update from link %d during round %d", msg.Round, i, round)
+				continue
+			}
+			return transport.Msg{}, fmt.Errorf("%w: node %d answered round %d during round %d", ErrProtocol, i, msg.Round, round)
+		}
+		if len(msg.Params) != len(p.theta) {
+			return transport.Msg{}, fmt.Errorf("%w: node %d sent %d params, want %d", ErrProtocol, i, len(msg.Params), len(p.theta))
+		}
+		if err := p.bindNodeID(i, msg.NodeID); err != nil {
+			return transport.Msg{}, err
+		}
+		return msg, nil
+	}
+}
+
+// sanitize vets a gathered update against the round's broadcast θ: updates
+// carrying NaN/Inf, or drifting further from θ than the guard radius allows,
+// are poison (wire corruption, a diverged node) and must not reach the
+// aggregation. thetaNorm is ‖θ‖, precomputed once per round.
+func (p *platformRun) sanitize(u tensor.Vec, thetaNorm float64) error {
+	if !u.IsFinite() {
+		return errors.New("update contains NaN or Inf")
+	}
+	if g := p.c.GuardRadius; g > 0 {
+		limit := g * (1 + thetaNorm)
+		if d := u.Dist(p.theta); d > limit {
+			return fmt.Errorf("update distance %.4g from θ exceeds guard limit %.4g", d, limit)
+		}
+	}
+	return nil
+}
+
+// snapshot persists the post-aggregation state of a round for crash
+// recovery.
+func (p *platformRun) snapshot(round, iter, t0 int, dispersion float64) error {
+	st := &checkpoint.RunState{
+		Version:       checkpoint.RunStateVersion,
+		Round:         round,
+		Iter:          iter,
+		T0:            t0,
+		Dispersion:    dispersion,
+		Theta:         append([]float64(nil), p.theta...),
+		Rounds:        p.stats.Rounds,
+		Messages:      p.stats.Messages,
+		Bytes:         p.stats.Bytes,
+		Dropped:       p.stats.Dropped,
+		Rejoined:      p.stats.Rejoined,
+		Rejected:      p.stats.Rejected,
+		SkippedRounds: p.stats.SkippedRounds,
+	}
+	if err := checkpoint.SaveRunState(p.c.CheckpointPath, st); err != nil {
+		return fmt.Errorf("core: checkpoint round %d: %w", round, err)
+	}
+	return nil
 }
 
 // RunPlatform executes the platform side of Algorithms 1/2: broadcast the
@@ -79,6 +243,11 @@ func (a *asyncOps) finish() {
 // takes ownership of the links (they are closed when training ends), and a
 // node that misses the deadline, disconnects, or reports an error is
 // dropped and training continues while at least cfg.MinNodes remain.
+// Dropped nodes are kept as suspects and re-probed with the current θ every
+// round; one that answers rejoins the federation. Gathered updates pass the
+// sanitation guard (see Config.GuardRadius) before aggregation, and with
+// cfg.CheckpointPath set the platform snapshots its state after aggregation
+// rounds and can resume from the snapshot after a crash (cfg.Resume).
 func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, cfg Config) (tensor.Vec, CommStats, error) {
 	var stats CommStats
 	c := cfg.normalized()
@@ -117,34 +286,74 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		defer a.finish()
 		ops = a
 	}
-
-	alive := make([]bool, len(links))
-	aliveCount := len(links)
-	for i := range alive {
-		alive[i] = true
+	probeTO := c.ProbeTimeout
+	if probeTO <= 0 {
+		probeTO = c.RoundTimeout / 4
+	}
+	if probeTO < time.Millisecond {
+		probeTO = time.Millisecond
 	}
 	logf := c.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	markDead := func(i int, round int, cause error) {
-		if alive[i] {
-			alive[i] = false
-			aliveCount--
-			stats.Dropped++
-			ops.drop(i)
-			logf("core: dropped node %d in round %d (%d alive): %v", i, round, aliveCount, cause)
-		}
+
+	p := &platformRun{
+		c:        c,
+		ops:      ops,
+		ft:       ft,
+		probeTO:  probeTO,
+		logf:     logf,
+		theta:    theta0.Clone(),
+		alive:    make([]bool, len(links)),
+		aliveCnt: len(links),
+		expectID: make([]int, len(links)),
+		boundBy:  make(map[int]int, len(links)),
+	}
+	for i := range p.alive {
+		p.alive[i] = true
+		p.expectID[i] = -1
 	}
 
-	theta := theta0.Clone()
 	selector := newParticipationSelector(c, len(links))
 	var (
 		iter       int
 		dispersion float64
 	)
 	t0 := c.T0
-	for round := 1; iter < c.T; round++ {
+	startRound := 1
+	ckEvery := c.CheckpointEvery
+	if ckEvery <= 0 {
+		ckEvery = 1
+	}
+	if c.CheckpointPath != "" && c.Resume {
+		st, err := checkpoint.LoadRunState(c.CheckpointPath)
+		switch {
+		case err == nil:
+			if len(st.Theta) != len(p.theta) {
+				return nil, stats, fmt.Errorf("core: resume: snapshot has %d params, model needs %d", len(st.Theta), len(p.theta))
+			}
+			p.theta.CopyFrom(tensor.Vec(st.Theta))
+			iter = st.Iter
+			t0 = st.T0
+			dispersion = st.Dispersion
+			p.stats = CommStats{
+				Rounds: st.Rounds, Messages: st.Messages, Bytes: st.Bytes,
+				Dropped: st.Dropped, Rejoined: st.Rejoined, Rejected: st.Rejected,
+				SkippedRounds: st.SkippedRounds,
+			}
+			startRound = st.Round + 1
+			logf("core: resumed from %s: round %d done, iter %d", c.CheckpointPath, st.Round, st.Iter)
+		case errors.Is(err, os.ErrNotExist):
+			// No snapshot yet: start fresh, so supervisors can always
+			// restart the platform with Resume set.
+		default:
+			return nil, stats, err
+		}
+	}
+
+	consecSkipped := 0
+	for round := startRound; iter < c.T; round++ {
 		if c.T0Controller != nil && round > 1 {
 			t0 = c.T0Controller(round, dispersion, t0)
 			if t0 < 1 {
@@ -157,14 +366,14 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 
 		selected := make([]int, 0, len(links))
 		for _, i := range selector.pick() {
-			if alive[i] {
+			if p.alive[i] {
 				selected = append(selected, i)
 			}
 		}
 		if len(selected) == 0 {
 			// The sample missed every alive node; fall back to all of them.
-			for i := range alive {
-				if alive[i] {
+			for i := range p.alive {
+				if p.alive[i] {
 					selected = append(selected, i)
 				}
 			}
@@ -180,90 +389,150 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 			err := ops.send(i, transport.Msg{
 				Kind:       transport.KindParams,
 				Round:      round,
-				Params:     theta.Clone(),
+				Params:     p.theta.Clone(),
 				LocalSteps: t0,
 			})
 			if err != nil {
 				if ft {
-					markDead(i, round, err)
+					p.markSuspect(i, round, err)
 					continue
 				}
-				return nil, stats, fmt.Errorf("core: broadcast round %d to node %d: %w", round, i, err)
+				return nil, p.stats, fmt.Errorf("core: broadcast round %d to node %d: %w", round, i, err)
 			}
 			roundNodes = append(roundNodes, i)
-			stats.Messages++
-			stats.Bytes += int64(8 * len(theta))
+			p.stats.Messages++
+			p.stats.Bytes += int64(8 * len(p.theta))
 		}
 
-		updates := make([]tensor.Vec, 0, len(roundNodes))
-		selWeights := make([]float64, 0, len(roundNodes))
-		var selSum float64
-		for _, i := range roundNodes {
-			msg, err := ops.recv(i)
-			if err == nil {
-				switch {
-				case msg.Kind == transport.KindError:
-					err = fmt.Errorf("core: node %d failed in round %d: %s", msg.NodeID, round, msg.Err)
-				case msg.Kind != transport.KindUpdate:
-					err = fmt.Errorf("%w: expected update, got %v from node %d", ErrProtocol, msg.Kind, i)
-				case msg.Round != round:
-					err = fmt.Errorf("%w: node %d answered round %d during round %d", ErrProtocol, i, msg.Round, round)
-				case len(msg.Params) != len(theta):
-					err = fmt.Errorf("%w: node %d sent %d params, want %d", ErrProtocol, i, len(msg.Params), len(theta))
-				}
-			} else {
-				err = fmt.Errorf("core: gather round %d from node %d: %w", round, i, err)
-			}
-			if err != nil {
-				if ft {
-					markDead(i, round, err)
+		// Re-probe suspects with the current θ: a dropped node that has
+		// recovered answers like any other and rejoins below.
+		var probeNodes []int
+		if ft {
+			for i := range p.alive {
+				if p.alive[i] {
 					continue
 				}
-				return nil, stats, err
+				err := ops.trySend(i, transport.Msg{
+					Kind:       transport.KindParams,
+					Round:      round,
+					Params:     p.theta.Clone(),
+					LocalSteps: t0,
+				}, probeTO)
+				if err != nil {
+					continue
+				}
+				probeNodes = append(probeNodes, i)
+				p.stats.Messages++
+				p.stats.Bytes += int64(8 * len(p.theta))
 			}
-			updates = append(updates, msg.Params)
+		}
+
+		updates := make([]tensor.Vec, 0, len(roundNodes)+len(probeNodes))
+		selWeights := make([]float64, 0, len(roundNodes)+len(probeNodes))
+		var selSum float64
+		thetaNorm := p.theta.Norm()
+		accept := func(i int, msg transport.Msg) {
+			// The message crossed the wire either way; account for it even
+			// when the sanitation guard discards the payload.
+			p.stats.Messages++
+			p.stats.Bytes += int64(8 * len(msg.Params))
+			if err := p.sanitize(tensor.Vec(msg.Params), thetaNorm); err != nil {
+				p.stats.Rejected++
+				logf("core: rejected update from node %d in round %d: %v", i, round, err)
+				return
+			}
+			updates = append(updates, tensor.Vec(msg.Params))
 			selWeights = append(selWeights, weights[i])
 			selSum += weights[i]
-			stats.Messages++
-			stats.Bytes += int64(8 * len(msg.Params))
+		}
+		for _, i := range roundNodes {
+			msg, err := p.gatherFrom(i, round, c.RoundTimeout)
+			if err != nil {
+				if ft {
+					p.markSuspect(i, round, err)
+					continue
+				}
+				return nil, p.stats, err
+			}
+			if !ft {
+				// Strict mode: a poisoned update aborts the run instead of
+				// degrading it.
+				if err := p.sanitize(tensor.Vec(msg.Params), thetaNorm); err != nil {
+					return nil, p.stats, fmt.Errorf("core: node %d round %d: %v", i, round, err)
+				}
+			}
+			accept(i, msg)
+		}
+		for _, i := range probeNodes {
+			msg, err := p.gatherFrom(i, round, probeTO)
+			if err != nil {
+				continue // still unreachable; stays suspect
+			}
+			p.rejoin(i, round)
+			accept(i, msg)
+		}
+
+		if p.aliveCnt < minNodes {
+			return nil, p.stats, fmt.Errorf("core: only %d nodes alive, below MinNodes=%d", p.aliveCnt, minNodes)
 		}
 		if len(updates) == 0 || selSum <= 0 {
-			return nil, stats, fmt.Errorf("core: round %d produced no usable updates (%d nodes alive)", round, aliveCount)
+			if ft {
+				p.stats.SkippedRounds++
+				consecSkipped++
+				logf("core: round %d produced no usable updates (%d alive); skipping aggregation", round, p.aliveCnt)
+				if consecSkipped > maxConsecutiveSkips {
+					return nil, p.stats, fmt.Errorf("core: %d consecutive rounds without usable updates (%d nodes alive)", consecSkipped, p.aliveCnt)
+				}
+				continue
+			}
+			return nil, p.stats, fmt.Errorf("core: round %d produced no usable updates (%d nodes alive)", round, p.aliveCnt)
 		}
-		if aliveCount < minNodes {
-			return nil, stats, fmt.Errorf("core: only %d nodes alive, below MinNodes=%d", aliveCount, minNodes)
-		}
+		consecSkipped = 0
 
 		// Aggregate into the reused θ buffer (Eq. 5). The updates were
 		// received from the nodes, which relinquished ownership on Send,
 		// so none of them aliases theta.
-		tensor.WeightedSumInto(theta, selWeights, updates)
-		theta.ScaleInPlace(1 / selSum)
+		tensor.WeightedSumInto(p.theta, selWeights, updates)
+		p.theta.ScaleInPlace(1 / selSum)
 		// Measure the update dispersion around the new aggregate — the
 		// similarity proxy fed back to the T0 controller.
 		dispersion = 0
 		for k, u := range updates {
-			dispersion += selWeights[k] / selSum * u.Dist(theta)
+			dispersion += selWeights[k] / selSum * u.Dist(p.theta)
 		}
 		iter += t0
-		stats.Rounds++
+		p.stats.Rounds++
 		if c.OnRound != nil {
-			c.OnRound(round, iter, theta)
+			c.OnRound(round, iter, p.theta)
+		}
+		if c.CheckpointPath != "" && (p.stats.Rounds%ckEvery == 0 || iter >= c.T) {
+			if err := p.snapshot(round, iter, t0, dispersion); err != nil {
+				return nil, p.stats, err
+			}
 		}
 	}
+
+	// Shutdown sweep. Failures here are not drops — training is already
+	// complete — so they are logged under a named phase and excluded from
+	// the Dropped count.
 	for i := range links {
-		if !alive[i] {
+		if !p.alive[i] {
+			if ft {
+				// Best-effort farewell so a node that revives later exits
+				// cleanly instead of waiting for a round that never comes.
+				_ = ops.trySend(i, transport.Msg{Kind: transport.KindDone}, probeTO)
+			}
 			continue
 		}
 		if err := ops.send(i, transport.Msg{Kind: transport.KindDone}); err != nil {
 			if ft {
-				markDead(i, -1, err)
+				logf("core: shutdown: done to node %d failed: %v", i, err)
 				continue
 			}
-			return nil, stats, fmt.Errorf("core: done to node %d: %w", i, err)
+			return nil, p.stats, fmt.Errorf("core: done to node %d: %w", i, err)
 		}
 	}
-	return theta, stats, nil
+	return p.theta, p.stats, nil
 }
 
 // participationSelector picks the per-round node subset for client

@@ -50,6 +50,11 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 	nodeLinks := make([]transport.Link, len(fed.Sources))
 	for i := range fed.Sources {
 		platformLinks[i], nodeLinks[i] = transport.Pair()
+		if c.WrapLink != nil {
+			// Fault-injection hook: resilience tests and the CLI wrap the
+			// platform-side endpoints in transport.Chaos here.
+			platformLinks[i] = c.WrapLink(i, platformLinks[i])
+		}
 	}
 
 	var wg sync.WaitGroup
