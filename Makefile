@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short check chaos-smoke bench bench-json bench-paper fuzz examples clean
+.PHONY: all build vet test test-race test-short check chaos-smoke bench bench-json bench-paper bench-par fuzz examples clean
 
 all: build vet test
 
@@ -52,6 +52,12 @@ bench-json:
 # Regenerate every table and figure at the paper's scale.
 bench-paper:
 	$(GO) run ./cmd/fedml-bench -exp all -paper
+
+# Parallel-speedup snapshot: time the fig2a grid at workers=1 vs all cores,
+# verify the outputs are byte-identical (the determinism contract), and
+# record the measurement in BENCH_experiments.json.
+bench-par:
+	$(GO) run ./cmd/fedml-bench -par-bench -out BENCH_experiments.json
 
 # Short fuzzing pass over the parsers.
 fuzz:

@@ -5,15 +5,18 @@
 //	fedml-bench -list                 # show available experiments
 //	fedml-bench -exp fig2a            # run one experiment (CI scale)
 //	fedml-bench -exp all -paper       # run everything at paper scale
+//	fedml-bench -par-bench -workers 4 # measure parallel speedup on fig2a
 //
 // Each experiment prints the same rows/series the paper reports; the
 // per-experiment index lives in DESIGN.md §4.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/edgeai/fedml/internal/experiments"
@@ -29,9 +32,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedml-bench", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "all", "experiment id (see -list) or \"all\"")
-		paper = fs.Bool("paper", false, "run at the paper's scale instead of the fast CI scale")
-		list  = fs.Bool("list", false, "list available experiments and exit")
+		exp      = fs.String("exp", "all", "experiment id (see -list) or \"all\"")
+		paper    = fs.Bool("paper", false, "run at the paper's scale instead of the fast CI scale")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		workers  = fs.Int("workers", 0, "worker count for parallel sections (0 = all cores, 1 = serial)")
+		parBench = fs.Bool("par-bench", false, "benchmark the fig2a grid at workers=1 vs -workers, verify identical output, and report the speedup")
+		out      = fs.String("out", "", "with -par-bench: write the measurements as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +56,10 @@ func run(args []string) error {
 		scale = experiments.ScalePaper
 	}
 
+	if *parBench {
+		return runParBench(scale, *workers, *out)
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = ids[:0]
@@ -60,11 +70,71 @@ func run(args []string) error {
 
 	for _, id := range ids {
 		start := time.Now()
-		out, err := experiments.Run(id, scale)
+		out, err := experiments.Run(id, scale, *workers)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("=== %s (scale=%s, %.1fs) ===\n%s\n", id, scale, time.Since(start).Seconds(), out)
+	}
+	return nil
+}
+
+// parBenchReport is the JSON shape written by -par-bench.
+type parBenchReport struct {
+	Experiment      string  `json:"experiment"`
+	Scale           string  `json:"scale"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Workers         int     `json:"workers"`
+	SerialNs        int64   `json:"serial_ns"`
+	ParallelNs      int64   `json:"parallel_ns"`
+	Speedup         float64 `json:"speedup"`
+	OutputIdentical bool    `json:"output_identical"`
+}
+
+// runParBench times the fig2a grid serially and at the requested worker
+// count, checks the rendered outputs are byte-identical (the par contract),
+// and prints — and optionally writes — the measurements.
+func runParBench(scale experiments.Scale, workers int, outPath string) error {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	serialOut, err := experiments.Run("fig2a", scale, 1)
+	if err != nil {
+		return fmt.Errorf("par-bench serial run: %w", err)
+	}
+	serialNs := time.Since(start).Nanoseconds()
+
+	start = time.Now()
+	parOut, err := experiments.Run("fig2a", scale, workers)
+	if err != nil {
+		return fmt.Errorf("par-bench parallel run: %w", err)
+	}
+	parNs := time.Since(start).Nanoseconds()
+
+	rep := parBenchReport{
+		Experiment:      "fig2a",
+		Scale:           scale.String(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         workers,
+		SerialNs:        serialNs,
+		ParallelNs:      parNs,
+		Speedup:         float64(serialNs) / float64(parNs),
+		OutputIdentical: serialOut == parOut,
+	}
+	fmt.Printf("par-bench fig2a (scale=%s): serial %.2fs, workers=%d %.2fs, speedup %.2fx, identical=%v\n",
+		rep.Scale, float64(serialNs)/1e9, workers, float64(parNs)/1e9, rep.Speedup, rep.OutputIdentical)
+	if !rep.OutputIdentical {
+		return fmt.Errorf("par-bench: workers=1 and workers=%d outputs differ — determinism contract violated", workers)
+	}
+	if outPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("par-bench marshal: %w", err)
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("par-bench write: %w", err)
+		}
 	}
 	return nil
 }

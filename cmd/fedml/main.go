@@ -80,6 +80,7 @@ type commonFlags struct {
 	lambda  float64
 	csvPath string
 	csvDim  int
+	workers int
 }
 
 func addCommonFlags(fs *flag.FlagSet) *commonFlags {
@@ -96,6 +97,7 @@ func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 	fs.Float64Var(&c.lambda, "lambda", 0.01, "DRO penalty λ (with -robust)")
 	fs.StringVar(&c.csvPath, "csv", "", "with -dataset csv: path to a CSV of feature columns + integer label")
 	fs.IntVar(&c.csvDim, "csv-dim", 0, "with -dataset csv: number of feature columns")
+	fs.IntVar(&c.workers, "workers", 0, "worker count for evaluation fan-out (0 = all cores, 1 = serial); results are identical for every value")
 	return c
 }
 
@@ -270,7 +272,7 @@ func runTrain(args []string) error {
 	cfg := c.trainConfig(func(round, iter int, theta tensor.Vec) {
 		if round%5 == 0 || iter == c.t {
 			fmt.Printf("round %4d (iter %5d): G(θ) = %.4f\n",
-				round, iter, eval.GlobalMetaObjective(m, fed, c.alpha, theta))
+				round, iter, eval.GlobalMetaObjectiveN(m, fed, c.alpha, theta, c.workers))
 		}
 	})
 	if err := ff.apply(&cfg); err != nil {
@@ -284,7 +286,7 @@ func runTrain(args []string) error {
 		res.Comm.Rounds, res.Comm.Messages, float64(res.Comm.Bytes)/1024)
 	printResilience(res.Comm)
 
-	curve := eval.AverageAdaptationCurve(m, res.Theta, fed.Targets, c.alpha, *adaptSteps)
+	curve := eval.AverageAdaptationCurveN(m, res.Theta, fed.Targets, c.alpha, *adaptSteps, c.workers)
 	fmt.Println("fast adaptation at held-out target nodes:")
 	for _, p := range curve {
 		fmt.Printf("  step %2d: loss %.4f  accuracy %.3f\n", p.Step, p.Loss, p.Accuracy)
@@ -408,7 +410,7 @@ func runPlatform(args []string) error {
 	theta0 := m.InitParams(rng.New(c.seed))
 	cfg := c.trainConfig(func(round, iter int, theta tensor.Vec) {
 		fmt.Printf("round %4d (iter %5d): G(θ) = %.4f\n",
-			round, iter, eval.GlobalMetaObjective(m, fed, c.alpha, theta))
+			round, iter, eval.GlobalMetaObjectiveN(m, fed, c.alpha, theta, c.workers))
 	})
 	if err := ff.apply(&cfg); err != nil {
 		return err
@@ -427,7 +429,7 @@ func runPlatform(args []string) error {
 	fmt.Printf("done: %d rounds, %d messages, %.1f KiB\n", stats.Rounds, stats.Messages, float64(stats.Bytes)/1024)
 	printResilience(stats)
 
-	curve := eval.AverageAdaptationCurve(m, theta, fed.Targets, c.alpha, 5)
+	curve := eval.AverageAdaptationCurveN(m, theta, fed.Targets, c.alpha, 5, c.workers)
 	fmt.Println("fast adaptation at held-out target nodes:")
 	for _, p := range curve {
 		fmt.Printf("  step %2d: loss %.4f  accuracy %.3f\n", p.Step, p.Loss, p.Accuracy)

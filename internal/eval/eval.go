@@ -12,19 +12,43 @@ import (
 	"github.com/edgeai/fedml/internal/dro"
 	"github.com/edgeai/fedml/internal/meta"
 	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/par"
 	"github.com/edgeai/fedml/internal/tensor"
 )
 
+// The measurement loops in this package fan out over nodes/targets on the
+// shared par pool. Every parallel function follows the par contract
+// (per-index result slots, one workspace per worker, index-ordered
+// reduction on the calling goroutine), so results are bit-identical for
+// every worker count — the `...N` variants take an explicit worker count
+// (0 = GOMAXPROCS, 1 = serial) and the suffix-free wrappers use 0.
+
 // GlobalMetaObjective evaluates G(θ) = Σ_i ω_i L(φ_i(θ), D_i^test) over the
 // federation's source nodes — the quantity whose convergence Theorem 2
-// bounds.
+// bounds — using all cores.
 func GlobalMetaObjective(m nn.Model, fed *data.Federation, alpha float64, theta tensor.Vec) float64 {
+	return GlobalMetaObjectiveN(m, fed, alpha, theta, 0)
+}
+
+// GlobalMetaObjectiveN is GlobalMetaObjective on `workers` workers. The
+// per-node terms land in index slots and are summed in index order, so the
+// value is bit-identical for every worker count.
+func GlobalMetaObjectiveN(m nn.Model, fed *data.Federation, alpha float64, theta tensor.Vec, workers int) float64 {
 	weights := fed.Weights()
-	// One workspace serves every node's inner step.
-	ws := meta.NewWorkspace(m)
+	n := len(fed.Sources)
+	// One workspace serves every node a worker processes.
+	wss := make([]*meta.Workspace, par.Span(workers, n))
+	terms := make([]float64, n)
+	par.ForEachWorker(workers, n, func(w, i int) {
+		if wss[w] == nil {
+			wss[w] = meta.NewWorkspace(m)
+		}
+		nd := fed.Sources[i]
+		terms[i] = weights[i] * wss[w].Objective(theta, nd.Train, nd.Test, alpha)
+	})
 	var total float64
-	for i, nd := range fed.Sources {
-		total += weights[i] * ws.Objective(theta, nd.Train, nd.Test, alpha)
+	for _, term := range terms {
+		total += term
 	}
 	return total
 }
@@ -108,21 +132,36 @@ func AdaptationCurve(m nn.Model, theta tensor.Vec, node *data.NodeDataset, alpha
 }
 
 // AverageAdaptationCurve averages AdaptationCurve over all target nodes —
-// the quantity plotted in Figures 3(c)–3(e).
+// the quantity plotted in Figures 3(c)–3(e) — using all cores.
 func AverageAdaptationCurve(m nn.Model, theta tensor.Vec, targets []*data.NodeDataset, alpha float64, maxSteps int) []AdaptPoint {
+	return AverageAdaptationCurveN(m, theta, targets, alpha, maxSteps, 0)
+}
+
+// AverageAdaptationCurveN is AverageAdaptationCurve on `workers` workers.
+// Per-target curves are computed into index slots and averaged in index
+// order, so the curve is bit-identical for every worker count.
+func AverageAdaptationCurveN(m nn.Model, theta tensor.Vec, targets []*data.NodeDataset, alpha float64, maxSteps, workers int) []AdaptPoint {
 	if len(targets) == 0 {
 		return nil
 	}
+	curves := make([][]AdaptPoint, len(targets))
+	par.ForEach(workers, len(targets), func(t int) {
+		curves[t] = AdaptationCurve(m, theta, targets[t], alpha, maxSteps)
+	})
+	return averageCurves(curves, maxSteps)
+}
+
+// averageCurves reduces per-target curves in index order.
+func averageCurves(curves [][]AdaptPoint, maxSteps int) []AdaptPoint {
 	avg := make([]AdaptPoint, maxSteps+1)
-	for _, node := range targets {
-		curve := AdaptationCurve(m, theta, node, alpha, maxSteps)
+	for _, curve := range curves {
 		for i, p := range curve {
 			avg[i].Step = p.Step
 			avg[i].Loss += p.Loss
 			avg[i].Accuracy += p.Accuracy
 		}
 	}
-	inv := 1 / float64(len(targets))
+	inv := 1 / float64(len(curves))
 	for i := range avg {
 		avg[i].Loss *= inv
 		avg[i].Accuracy *= inv
@@ -155,27 +194,30 @@ func AdversarialAdaptationCurve(m nn.Model, theta tensor.Vec, node *data.NodeDat
 }
 
 // AverageAdversarialAdaptationCurve averages AdversarialAdaptationCurve over
-// the target nodes.
+// the target nodes, using all cores.
 func AverageAdversarialAdaptationCurve(m nn.Model, theta tensor.Vec, targets []*data.NodeDataset, alpha float64, maxSteps int, xi, clampMin, clampMax float64) ([]AdaptPoint, error) {
+	return AverageAdversarialAdaptationCurveN(m, theta, targets, alpha, maxSteps, xi, clampMin, clampMax, 0)
+}
+
+// AverageAdversarialAdaptationCurveN is AverageAdversarialAdaptationCurve on
+// `workers` workers, bit-identical for every worker count. On failure the
+// reported error is the one of the lowest-indexed failing target, matching
+// the sequential loop.
+func AverageAdversarialAdaptationCurveN(m nn.Model, theta tensor.Vec, targets []*data.NodeDataset, alpha float64, maxSteps int, xi, clampMin, clampMax float64, workers int) ([]AdaptPoint, error) {
 	if len(targets) == 0 {
 		return nil, nil
 	}
-	avg := make([]AdaptPoint, maxSteps+1)
-	for ti, node := range targets {
-		curve, err := AdversarialAdaptationCurve(m, theta, node, alpha, maxSteps, xi, clampMin, clampMax)
+	curves := make([][]AdaptPoint, len(targets))
+	err := par.ForEachErr(workers, len(targets), func(t int) error {
+		curve, err := AdversarialAdaptationCurve(m, theta, targets[t], alpha, maxSteps, xi, clampMin, clampMax)
 		if err != nil {
-			return nil, fmt.Errorf("eval: target %d: %w", ti, err)
+			return fmt.Errorf("eval: target %d: %w", t, err)
 		}
-		for i, p := range curve {
-			avg[i].Step = p.Step
-			avg[i].Loss += p.Loss
-			avg[i].Accuracy += p.Accuracy
-		}
+		curves[t] = curve
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	inv := 1 / float64(len(targets))
-	for i := range avg {
-		avg[i].Loss *= inv
-		avg[i].Accuracy *= inv
-	}
-	return avg, nil
+	return averageCurves(curves, maxSteps), nil
 }

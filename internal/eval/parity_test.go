@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edgeai/fedml/internal/rng"
+)
+
+// The percentile index must be the classical order statistic ceil(q·n)−1,
+// clamped into range. The previous truncating implementation read one slot
+// too high whenever q·n was integral — exactly the common case of 95%
+// confidence with a round resample count.
+func TestQuantileIndexKnownOrderStatistics(t *testing.T) {
+	cases := []struct {
+		q    float64
+		n    int
+		want int
+	}{
+		{0.025, 2000, 49},   // lower bound at 95%/2000: ceil(50)−1
+		{0.975, 2000, 1949}, // upper bound at 95%/2000 — the old code gave 1950
+		{0.05, 1000, 49},
+		{0.95, 1000, 949},
+		{0.5, 10, 4},
+		{0.5, 11, 5}, // ceil(5.5)−1
+		{0.005, 100, 0},
+		{0.995, 100, 99}, // ceil(99.5)−1
+		{0, 5, 0},        // clamp low
+		{1, 5, 4},
+	}
+	for _, c := range cases {
+		if got := quantileIndex(c.q, c.n); got != c.want {
+			t.Errorf("quantileIndex(%v, %d) = %d, want %d", c.q, c.n, got, c.want)
+		}
+	}
+}
+
+// quantileIndex must return the MINIMAL index i with i+1 ≥ q·n: large enough
+// to cover the q-mass, and not one slot beyond it.
+func TestQuantileIndexIsMinimalCoveringIndex(t *testing.T) {
+	for _, n := range []int{10, 37, 100, 2000} {
+		for q := 0.01; q < 1; q += 0.0137 {
+			i := quantileIndex(q, n)
+			if i < 0 || i >= n {
+				t.Fatalf("quantileIndex(%v, %d) = %d out of range", q, n, i)
+			}
+			if float64(i+1) < q*float64(n)-1e-9 {
+				t.Errorf("quantileIndex(%v, %d) = %d does not cover q·n = %v", q, n, i, q*float64(n))
+			}
+			if i > 0 && float64(i) >= q*float64(n)+1e-9 {
+				t.Errorf("quantileIndex(%v, %d) = %d is not minimal (i = %d already covers)", q, n, i, i-1)
+			}
+		}
+	}
+}
+
+// Every parallel eval entry point must be bit-identical across worker
+// counts — the determinism contract of the par pool.
+func TestEvalWorkerCountInvariance(t *testing.T) {
+	fed, m := tinyFederation(t)
+	theta := m.InitParams(rng.New(7))
+
+	refObj := GlobalMetaObjectiveN(m, fed, 0.05, theta, 1)
+	refCurve := AverageAdaptationCurveN(m, theta, fed.Targets, 0.05, 4, 1)
+	refAcc := FinalAccuraciesN(m, theta, fed.Targets, 0.05, 3, 1)
+	refAdv, err := AverageAdversarialAdaptationCurveN(m, theta, fed.Targets, 0.05, 2, 0.01, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		if got := GlobalMetaObjectiveN(m, fed, 0.05, theta, workers); got != refObj {
+			t.Errorf("workers=%d: GlobalMetaObjectiveN = %v, want %v (bit-identical)", workers, got, refObj)
+		}
+		curve := AverageAdaptationCurveN(m, theta, fed.Targets, 0.05, 4, workers)
+		for i := range curve {
+			if curve[i] != refCurve[i] {
+				t.Errorf("workers=%d: adaptation curve step %d = %+v, want %+v", workers, i, curve[i], refCurve[i])
+			}
+		}
+		acc := FinalAccuraciesN(m, theta, fed.Targets, 0.05, 3, workers)
+		for i := range acc {
+			if acc[i] != refAcc[i] {
+				t.Errorf("workers=%d: final accuracy %d = %v, want %v", workers, i, acc[i], refAcc[i])
+			}
+		}
+		adv, err := AverageAdversarialAdaptationCurveN(m, theta, fed.Targets, 0.05, 2, 0.01, 0, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range adv {
+			if adv[i] != refAdv[i] {
+				t.Errorf("workers=%d: adversarial curve step %d = %+v, want %+v", workers, i, adv[i], refAdv[i])
+			}
+		}
+	}
+}
+
+// The bootstrap shards resamples across workers with per-resample RNG
+// streams; the interval must be bit-identical for every worker count, and
+// the parent stream must never be advanced by the call.
+func TestPairedBootstrapWorkerCountInvariance(t *testing.T) {
+	r := rng.New(42)
+	a := make([]float64, 25)
+	b := make([]float64, 25)
+	for i := range a {
+		a[i] = 0.5 + 0.1*math.Sin(float64(i))
+		b[i] = 0.45 + 0.1*math.Cos(float64(3*i))
+	}
+	ref, err := PairedBootstrapN(rng.New(42), a, b, 500, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := PairedBootstrapN(rng.New(42), a, b, 500, 0.95, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("workers=%d: bootstrap = %+v, want %+v (bit-identical)", workers, got, ref)
+		}
+	}
+	// The parent stream is only Split, never drawn from: a draw after the
+	// call must match a draw from a fresh stream with the same seed.
+	if _, err := PairedBootstrapN(r, a, b, 100, 0.9, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Float64(), rng.New(42).Float64(); got != want {
+		t.Errorf("parent stream advanced by bootstrap: next draw %v, want %v", got, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/edgeai/fedml/internal/eval"
 	"github.com/edgeai/fedml/internal/fedavg"
 	"github.com/edgeai/fedml/internal/meta"
+	"github.com/edgeai/fedml/internal/par"
 	"github.com/edgeai/fedml/internal/reptile"
 )
 
@@ -28,6 +29,8 @@ type ExtBaselinesConfig struct {
 	ReptileEps float64
 	AdaptSteps int
 	Seed       uint64
+	// Workers bounds the per-algorithm fan-out (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultExtBaselinesConfig returns the comparison configuration.
@@ -92,7 +95,7 @@ func RunExtBaselines(cfg ExtBaselinesConfig) (*ExtBaselinesResult, error) {
 		}},
 		{"FedAvg", func() ([]float64, error) {
 			res, err := fedavg.Train(m, fed, nil, fedavg.Config{
-				Eta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed,
+				Eta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed, Workers: 1,
 			})
 			if err != nil {
 				return nil, err
@@ -101,7 +104,7 @@ func RunExtBaselines(cfg ExtBaselinesConfig) (*ExtBaselinesResult, error) {
 		}},
 		{"FedProx", func() ([]float64, error) {
 			res, err := fedavg.Train(m, fed, nil, fedavg.Config{
-				Eta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed, ProxMu: cfg.ProxMu,
+				Eta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed, ProxMu: cfg.ProxMu, Workers: 1,
 			})
 			if err != nil {
 				return nil, err
@@ -111,7 +114,7 @@ func RunExtBaselines(cfg ExtBaselinesConfig) (*ExtBaselinesResult, error) {
 		{"Reptile", func() ([]float64, error) {
 			res, err := reptile.Train(m, fed, nil, reptile.Config{
 				InnerLR: cfg.Alpha, MetaLR: cfg.ReptileEps, InnerSteps: cfg.T0,
-				Rounds: cfg.T / cfg.T0, Seed: cfg.Seed,
+				Rounds: cfg.T / cfg.T0, Seed: cfg.Seed, Workers: 1,
 			})
 			if err != nil {
 				return nil, err
@@ -120,17 +123,26 @@ func RunExtBaselines(cfg ExtBaselinesConfig) (*ExtBaselinesResult, error) {
 		}},
 	}
 
-	res := &ExtBaselinesResult{}
-	for _, a := range algos {
+	// Algorithms are independent; train and evaluate each on the worker
+	// pool into index slots.
+	res := &ExtBaselinesResult{
+		Names:      make([]string, len(algos)),
+		Curves:     make([][]eval.AdaptPoint, len(algos)),
+		SourceMeta: make([]float64, len(algos)),
+	}
+	err = par.ForEachErr(cfg.Workers, len(algos), func(c int) error {
+		a := algos[c]
 		theta, err := a.train()
 		if err != nil {
-			return nil, fmt.Errorf("ext-baselines %s: %w", a.name, err)
+			return fmt.Errorf("ext-baselines %s: %w", a.name, err)
 		}
-		res.Names = append(res.Names, a.name)
-		res.Curves = append(res.Curves,
-			eval.AverageAdaptationCurve(m, theta, fed.Targets, cfg.Alpha, cfg.AdaptSteps))
-		res.SourceMeta = append(res.SourceMeta,
-			eval.GlobalMetaObjective(m, fed, cfg.Alpha, theta))
+		res.Names[c] = a.name
+		res.Curves[c] = eval.AverageAdaptationCurveN(m, theta, fed.Targets, cfg.Alpha, cfg.AdaptSteps, 1)
+		res.SourceMeta[c] = eval.GlobalMetaObjectiveN(m, fed, cfg.Alpha, theta, 1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/edgeai/fedml/internal/eval"
 	"github.com/edgeai/fedml/internal/meta"
 	"github.com/edgeai/fedml/internal/opt"
+	"github.com/edgeai/fedml/internal/par"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 )
@@ -24,6 +25,8 @@ type ExtMetaOptConfig struct {
 	Alpha, Beta, AdamLR float64
 	Iters               int
 	Seed                uint64
+	// Workers bounds the per-optimizer fan-out (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultExtMetaOptConfig returns the ablation configuration.
@@ -63,21 +66,31 @@ func RunExtMetaOpt(cfg ExtMetaOptConfig) (*ExtMetaOptResult, error) {
 		&opt.Adam{LR: cfg.AdamLR},
 	}
 
-	res := &ExtMetaOptResult{}
-	for _, o := range optimizers {
+	// Each optimizer run is independent (stateful optimizers are per-cell);
+	// run the three on the worker pool into index slots.
+	curves := make([]*eval.Series, len(optimizers))
+	err = par.ForEachErr(cfg.Workers, len(optimizers), func(c int) error {
+		o := optimizers[c]
 		series := &eval.Series{Name: o.Name()}
 		_, err := meta.TrainCentralized(m, fed.Sources, fed.Weights(), theta0,
-			cfg.Alpha, o, cfg.Iters, meta.SecondOrder,
+			cfg.Alpha, o, cfg.Iters, meta.SecondOrder, 1,
 			func(iter int, theta tensor.Vec) {
 				if iter%10 == 0 || iter == cfg.Iters {
-					series.Add(iter, eval.GlobalMetaObjective(m, fed, cfg.Alpha, theta))
+					series.Add(iter, eval.GlobalMetaObjectiveN(m, fed, cfg.Alpha, theta, 1))
 				}
 			})
 		if err != nil {
-			return nil, fmt.Errorf("ext-meta-opt %s: %w", o.Name(), err)
+			return fmt.Errorf("ext-meta-opt %s: %w", o.Name(), err)
 		}
-		res.Curves = append(res.Curves, series)
-		last, _ := series.Last()
+		curves[c] = series
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ExtMetaOptResult{Curves: curves}
+	for _, s := range curves {
+		last, _ := s.Last()
 		res.Finals = append(res.Finals, last.Value)
 	}
 	return res, nil

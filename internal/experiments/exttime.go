@@ -8,6 +8,7 @@ import (
 
 	"github.com/edgeai/fedml/internal/core"
 	"github.com/edgeai/fedml/internal/eval"
+	"github.com/edgeai/fedml/internal/par"
 	"github.com/edgeai/fedml/internal/tensor"
 )
 
@@ -34,6 +35,9 @@ type ExtTimeConfig struct {
 	// LocalStepTime models one local meta-iteration's compute cost.
 	LocalStepTime time.Duration
 	Seed          uint64
+	// Workers bounds the grid-cell fan-out (0 = GOMAXPROCS); one cell
+	// per T0.
+	Workers int
 }
 
 // DefaultExtTimeConfig returns the experiment configuration.
@@ -88,12 +92,16 @@ func RunExtTime(cfg ExtTimeConfig) (*ExtTimeResult, error) {
 		iters, rounds int
 		g             float64
 	}
-	series := map[int][]point{}
-	worstFinal := 0.0
 	for _, t0 := range cfg.T0s {
 		if cfg.T%t0 != 0 {
 			return nil, fmt.Errorf("ext-time: T=%d not a multiple of T0=%d", cfg.T, t0)
 		}
+	}
+	// One training per T0, on the worker pool into per-cell slots (the
+	// worstFinal reduction happens in index order afterwards).
+	series := make([][]point, len(cfg.T0s))
+	err = par.ForEachErr(cfg.Workers, len(cfg.T0s), func(c int) error {
+		t0 := cfg.T0s[c]
 		var pts []point
 		trainCfg := core.Config{
 			Alpha: cfg.Alpha, Beta: cfg.Beta, T: cfg.T, T0: t0, Seed: cfg.Seed,
@@ -101,14 +109,21 @@ func RunExtTime(cfg ExtTimeConfig) (*ExtTimeResult, error) {
 				pts = append(pts, point{
 					iters:  iter,
 					rounds: round,
-					g:      eval.GlobalMetaObjective(m, fed, cfg.Alpha, theta),
+					g:      eval.GlobalMetaObjectiveN(m, fed, cfg.Alpha, theta, 1),
 				})
 			},
 		}
 		if _, err := core.Train(m, fed, nil, trainCfg); err != nil {
-			return nil, fmt.Errorf("ext-time train T0=%d: %w", t0, err)
+			return fmt.Errorf("ext-time train T0=%d: %w", t0, err)
 		}
-		series[t0] = pts
+		series[c] = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	worstFinal := 0.0
+	for _, pts := range series {
 		if final := pts[len(pts)-1].g; final > worstFinal {
 			worstFinal = final
 		}
@@ -122,9 +137,9 @@ func RunExtTime(cfg ExtTimeConfig) (*ExtTimeResult, error) {
 		iters, rounds int
 	}
 	crossings := map[int]crossing{}
-	for _, t0 := range cfg.T0s {
+	for c, t0 := range cfg.T0s {
 		var cross crossing
-		for _, p := range series[t0] {
+		for _, p := range series[c] {
 			if p.g <= target {
 				cross = crossing{iters: p.iters, rounds: p.rounds}
 				break

@@ -9,6 +9,7 @@ import (
 	"github.com/edgeai/fedml/internal/eval"
 	"github.com/edgeai/fedml/internal/fedavg"
 	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/par"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 )
@@ -22,6 +23,9 @@ type Fig3aConfig struct {
 	// Participation enables client sampling (0 = full participation).
 	Participation float64
 	Seed          uint64
+	// Workers bounds the per-round objective-tracking fan-out over the
+	// tracked nodes (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultFig3aConfig returns the paper configuration at the given scale
@@ -58,7 +62,7 @@ func RunFig3a(cfg Fig3aConfig) (*Fig3aResult, error) {
 		Alpha: cfg.Alpha, Beta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed,
 		Participation: cfg.Participation,
 		OnRound: func(_, iter int, theta tensor.Vec) {
-			series.Add(iter, eval.GlobalMetaObjective(m, tracked, cfg.Alpha, theta))
+			series.Add(iter, eval.GlobalMetaObjectiveN(m, tracked, cfg.Alpha, theta, cfg.Workers))
 		},
 	}
 	if _, err := core.Train(m, fed, nil, trainCfg); err != nil {
@@ -84,6 +88,9 @@ type Fig3bConfig struct {
 	// at the target nodes.
 	AdaptSteps int
 	Seed       uint64
+	// Workers bounds the grid-cell fan-out (0 = GOMAXPROCS); one cell per
+	// similarity level.
+	Workers int
 }
 
 // DefaultFig3bConfig returns the paper configuration at the given scale.
@@ -114,24 +121,34 @@ type Fig3bResult struct {
 }
 
 // RunFig3b reproduces Figure 3(b): the impact of target-source similarity on
-// test performance after fast adaptation.
+// test performance after fast adaptation. The similarity levels are
+// independent cells on the worker pool; per-cell slots keep the output
+// bit-identical for every worker count.
 func RunFig3b(cfg Fig3bConfig) (*Fig3bResult, error) {
-	res := &Fig3bResult{}
-	for _, ab := range cfg.Similarities {
+	names := make([]string, len(cfg.Similarities))
+	curves := make([][]eval.AdaptPoint, len(cfg.Similarities))
+	err := par.ForEachErr(cfg.Workers, len(cfg.Similarities), func(c int) error {
+		ab := cfg.Similarities[c]
 		fed, err := syntheticFederation(ab, ab, cfg.Scale, 5, cfg.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("fig3b Synthetic(%g,%g): %w", ab, ab, err)
+			return fmt.Errorf("fig3b Synthetic(%g,%g): %w", ab, ab, err)
 		}
 		m := softmaxModel(fed)
 		trainRes, err := core.Train(m, fed, nil, core.Config{
 			Alpha: cfg.Alpha, Beta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig3b train Synthetic(%g,%g): %w", ab, ab, err)
+			return fmt.Errorf("fig3b train Synthetic(%g,%g): %w", ab, ab, err)
 		}
-		curve := eval.AverageAdaptationCurve(m, trainRes.Theta, fed.Targets, cfg.Alpha, cfg.AdaptSteps)
-		res.Names = append(res.Names, fmt.Sprintf("Synthetic(%g,%g)", ab, ab))
-		res.Curves = append(res.Curves, curve)
+		names[c] = fmt.Sprintf("Synthetic(%g,%g)", ab, ab)
+		curves[c] = eval.AverageAdaptationCurveN(m, trainRes.Theta, fed.Targets, cfg.Alpha, cfg.AdaptSteps, 1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3bResult{Names: names, Curves: curves}
+	for _, curve := range curves {
 		res.FinalAccuracies = append(res.FinalAccuracies, curve[len(curve)-1].Accuracy)
 	}
 	return res, nil
@@ -161,6 +178,9 @@ type AdaptCompareConfig struct {
 	Participation float64
 	AdaptSteps    int
 	Seed          uint64
+	// Workers bounds the grid-cell fan-out (0 = GOMAXPROCS); one cell
+	// per K.
+	Workers int
 }
 
 // DefaultAdaptCompareConfig returns the paper configuration for the given
@@ -221,38 +241,54 @@ func RunAdaptCompare(cfg AdaptCompareConfig) (*AdaptCompareResult, error) {
 		return nil, err
 	}
 
-	res := &AdaptCompareResult{Dataset: cfg.Dataset, Ks: cfg.Ks}
+	// The resplits draw from one shared sequential RNG stream, so they must
+	// happen in K order BEFORE the cells fan out — otherwise the split for
+	// a given K would depend on the execution schedule.
 	splitRng := rng.New(cfg.Seed ^ 0xfeed)
-	for _, k := range cfg.Ks {
+	feds := make([]*data.Federation, len(cfg.Ks))
+	for i, k := range cfg.Ks {
 		fedK, err := fed.Resplit(splitRng, k)
 		if err != nil {
 			return nil, fmt.Errorf("adapt-compare resplit K=%d: %w", k, err)
 		}
+		feds[i] = fedK
+	}
 
+	res := &AdaptCompareResult{
+		Dataset:   cfg.Dataset,
+		Ks:        cfg.Ks,
+		FedML:     make([][]eval.AdaptPoint, len(cfg.Ks)),
+		FedAvg:    make([][]eval.AdaptPoint, len(cfg.Ks)),
+		Bootstrap: make([]eval.BootstrapResult, len(cfg.Ks)),
+	}
+	err = par.ForEachErr(cfg.Workers, len(cfg.Ks), func(c int) error {
+		k, fedK := cfg.Ks[c], feds[c]
 		mlRes, err := core.Train(m, fedK, nil, core.Config{
 			Alpha: cfg.Alpha, Beta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed,
 			Participation: cfg.Participation,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("adapt-compare FedML K=%d: %w", k, err)
+			return fmt.Errorf("adapt-compare FedML K=%d: %w", k, err)
 		}
 		avgRes, err := fedavg.Train(m, fedK, nil, fedavg.Config{
-			Eta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed,
+			Eta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed, Workers: 1,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("adapt-compare FedAvg K=%d: %w", k, err)
+			return fmt.Errorf("adapt-compare FedAvg K=%d: %w", k, err)
 		}
 
-		res.FedML = append(res.FedML,
-			eval.AverageAdaptationCurve(m, mlRes.Theta, fedK.Targets, cfg.Alpha, cfg.AdaptSteps))
-		res.FedAvg = append(res.FedAvg,
-			eval.AverageAdaptationCurve(m, avgRes.Theta, fedK.Targets, cfg.Alpha, cfg.AdaptSteps))
-		boot, err := eval.CompareAlgorithms(rng.New(cfg.Seed^0xb007), m,
-			mlRes.Theta, avgRes.Theta, fedK.Targets, cfg.Alpha, cfg.AdaptSteps, 2000, 0.95)
+		res.FedML[c] = eval.AverageAdaptationCurveN(m, mlRes.Theta, fedK.Targets, cfg.Alpha, cfg.AdaptSteps, 1)
+		res.FedAvg[c] = eval.AverageAdaptationCurveN(m, avgRes.Theta, fedK.Targets, cfg.Alpha, cfg.AdaptSteps, 1)
+		boot, err := eval.CompareAlgorithmsN(rng.New(cfg.Seed^0xb007), m,
+			mlRes.Theta, avgRes.Theta, fedK.Targets, cfg.Alpha, cfg.AdaptSteps, 2000, 0.95, 1)
 		if err != nil {
-			return nil, fmt.Errorf("adapt-compare bootstrap K=%d: %w", k, err)
+			return fmt.Errorf("adapt-compare bootstrap K=%d: %w", k, err)
 		}
-		res.Bootstrap = append(res.Bootstrap, boot)
+		res.Bootstrap[c] = boot
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

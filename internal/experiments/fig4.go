@@ -6,6 +6,7 @@ import (
 
 	"github.com/edgeai/fedml/internal/core"
 	"github.com/edgeai/fedml/internal/eval"
+	"github.com/edgeai/fedml/internal/par"
 	"github.com/edgeai/fedml/internal/tensor"
 )
 
@@ -26,6 +27,9 @@ type Fig4Config struct {
 	Xi         float64
 	AdaptSteps int
 	Seed       uint64
+	// Workers bounds the fan-out over trainings and per-model evaluations
+	// (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultFig4Config returns the paper configuration at the given scale.
@@ -85,40 +89,54 @@ func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
 		name  string
 		theta tensor.Vec
 	}
-	var models []trained
-
-	plain, err := core.Train(m, fed, nil, core.Config{
-		Alpha: cfg.Alpha, Beta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fig4 FedML: %w", err)
-	}
-	models = append(models, trained{name: "FedML", theta: plain.Theta})
-
-	for _, lambda := range cfg.Lambdas {
-		robust, err := core.Train(m, fed, nil, core.Config{
+	// Slot 0 is plain FedML; slot i+1 is Robust at Lambdas[i]. The
+	// trainings are independent (the federation is read-only) and run on
+	// the worker pool into index slots.
+	models := make([]trained, 1+len(cfg.Lambdas))
+	err = par.ForEachErr(cfg.Workers, len(models), func(c int) error {
+		trainCfg := core.Config{
 			Alpha: cfg.Alpha, Beta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed,
-			Robust: &core.RobustConfig{
+		}
+		name := "FedML"
+		if c > 0 {
+			lambda := cfg.Lambdas[c-1]
+			name = fmt.Sprintf("Robust λ=%g", lambda)
+			trainCfg.Robust = &core.RobustConfig{
 				Lambda: lambda, Nu: cfg.Nu, Ta: cfg.Ta, N0: cfg.N0, R: cfg.R,
 				ClampMin: 0, ClampMax: 1, // MNIST pixel domain
-			},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig4 Robust λ=%g: %w", lambda, err)
+			}
 		}
-		models = append(models, trained{name: fmt.Sprintf("Robust λ=%g", lambda), theta: robust.Theta})
+		trainRes, err := core.Train(m, fed, nil, trainCfg)
+		if err != nil {
+			return fmt.Errorf("fig4 %s: %w", name, err)
+		}
+		models[c] = trained{name: name, theta: trainRes.Theta}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	res := &Fig4Result{Xi: cfg.Xi}
-	for _, tr := range models {
-		clean := eval.AverageAdaptationCurve(m, tr.theta, fed.Targets, cfg.Alpha, cfg.AdaptSteps)
-		adv, err := eval.AverageAdversarialAdaptationCurve(m, tr.theta, fed.Targets, cfg.Alpha, cfg.AdaptSteps, cfg.Xi, 0, 1)
+	res := &Fig4Result{
+		Xi:    cfg.Xi,
+		Names: make([]string, len(models)),
+		Clean: make([][]eval.AdaptPoint, len(models)),
+		Adv:   make([][]eval.AdaptPoint, len(models)),
+	}
+	err = par.ForEachErr(cfg.Workers, len(models), func(c int) error {
+		tr := models[c]
+		clean := eval.AverageAdaptationCurveN(m, tr.theta, fed.Targets, cfg.Alpha, cfg.AdaptSteps, 1)
+		adv, err := eval.AverageAdversarialAdaptationCurveN(m, tr.theta, fed.Targets, cfg.Alpha, cfg.AdaptSteps, cfg.Xi, 0, 1, 1)
 		if err != nil {
-			return nil, fmt.Errorf("fig4 adversarial eval %s: %w", tr.name, err)
+			return fmt.Errorf("fig4 adversarial eval %s: %w", tr.name, err)
 		}
-		res.Names = append(res.Names, tr.name)
-		res.Clean = append(res.Clean, clean)
-		res.Adv = append(res.Adv, adv)
+		res.Names[c] = tr.name
+		res.Clean[c] = clean
+		res.Adv[c] = adv
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -149,6 +167,9 @@ type Fig4eConfig struct {
 	Ta, N0, R   int
 	AdaptSteps  int
 	Seed        uint64
+	// Workers bounds the fan-out over the two trainings and the ξ grid
+	// (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultFig4eConfig returns the paper configuration at the given scale.
@@ -200,38 +221,57 @@ func RunFig4e(cfg Fig4eConfig) (*Fig4eResult, error) {
 	}
 	m := softmaxModel(fed)
 
-	plain, err := core.Train(m, fed, nil, core.Config{
-		Alpha: cfg.Alpha, Beta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fig4e FedML: %w", err)
-	}
-	robust, err := core.Train(m, fed, nil, core.Config{
-		Alpha: cfg.Alpha, Beta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed,
-		Robust: &core.RobustConfig{
-			Lambda: cfg.Lambda, Nu: cfg.Nu, Ta: cfg.Ta, N0: cfg.N0, R: cfg.R,
-			ClampMin: 0, ClampMax: 1,
-		},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fig4e Robust: %w", err)
-	}
-
-	res := &Fig4eResult{Xis: cfg.Xis}
-	for _, xi := range cfg.Xis {
-		pc, err := eval.AverageAdversarialAdaptationCurve(m, plain.Theta, fed.Targets, cfg.Alpha, cfg.AdaptSteps, xi, 0, 1)
-		if err != nil {
-			return nil, fmt.Errorf("fig4e FedML ξ=%g: %w", xi, err)
+	// The plain and robust trainings are independent; run both on the pool.
+	thetas := make([]tensor.Vec, 2)
+	err = par.ForEachErr(cfg.Workers, 2, func(c int) error {
+		trainCfg := core.Config{
+			Alpha: cfg.Alpha, Beta: cfg.Beta, T: cfg.T, T0: cfg.T0, Seed: cfg.Seed,
 		}
-		rc, err := eval.AverageAdversarialAdaptationCurve(m, robust.Theta, fed.Targets, cfg.Alpha, cfg.AdaptSteps, xi, 0, 1)
+		name := "FedML"
+		if c == 1 {
+			name = "Robust"
+			trainCfg.Robust = &core.RobustConfig{
+				Lambda: cfg.Lambda, Nu: cfg.Nu, Ta: cfg.Ta, N0: cfg.N0, R: cfg.R,
+				ClampMin: 0, ClampMax: 1,
+			}
+		}
+		trainRes, err := core.Train(m, fed, nil, trainCfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig4e Robust ξ=%g: %w", xi, err)
+			return fmt.Errorf("fig4e %s: %w", name, err)
+		}
+		thetas[c] = trainRes.Theta
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	plainTheta, robustTheta := thetas[0], thetas[1]
+
+	res := &Fig4eResult{
+		Xis:         cfg.Xis,
+		FedMLAcc:    make([]float64, len(cfg.Xis)),
+		RobustAcc:   make([]float64, len(cfg.Xis)),
+		Improvement: make([]float64, len(cfg.Xis)),
+	}
+	err = par.ForEachErr(cfg.Workers, len(cfg.Xis), func(c int) error {
+		xi := cfg.Xis[c]
+		pc, err := eval.AverageAdversarialAdaptationCurveN(m, plainTheta, fed.Targets, cfg.Alpha, cfg.AdaptSteps, xi, 0, 1, 1)
+		if err != nil {
+			return fmt.Errorf("fig4e FedML ξ=%g: %w", xi, err)
+		}
+		rc, err := eval.AverageAdversarialAdaptationCurveN(m, robustTheta, fed.Targets, cfg.Alpha, cfg.AdaptSteps, xi, 0, 1, 1)
+		if err != nil {
+			return fmt.Errorf("fig4e Robust ξ=%g: %w", xi, err)
 		}
 		pa := pc[len(pc)-1].Accuracy
 		ra := rc[len(rc)-1].Accuracy
-		res.FedMLAcc = append(res.FedMLAcc, pa)
-		res.RobustAcc = append(res.RobustAcc, ra)
-		res.Improvement = append(res.Improvement, ra-pa)
+		res.FedMLAcc[c] = pa
+		res.RobustAcc[c] = ra
+		res.Improvement[c] = ra - pa
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -17,8 +17,10 @@ type Experiment struct {
 	ID string
 	// Description says what the paper shows there.
 	Description string
-	// Run executes the experiment at the requested scale.
-	Run func(scale Scale) (Renderable, error)
+	// Run executes the experiment at the requested scale on `workers`
+	// workers (0 = GOMAXPROCS, 1 = serial). Results are bit-identical for
+	// every worker count.
+	Run func(scale Scale, workers int) (Renderable, error)
 }
 
 // All returns the experiment registry, sorted by ID.
@@ -27,99 +29,125 @@ func All() []Experiment {
 		{
 			ID:          "table1",
 			Description: "Dataset statistics (nodes, samples per node)",
-			Run: func(s Scale) (Renderable, error) {
-				return RunTable1(Table1Config{Scale: s, Seed: 1})
+			Run: func(s Scale, workers int) (Renderable, error) {
+				return RunTable1(Table1Config{Scale: s, Seed: 1, Workers: workers})
 			},
 		},
 		{
 			ID:          "fig2a",
 			Description: "Impact of node similarity on FedML convergence (T0=10)",
-			Run: func(s Scale) (Renderable, error) {
-				return RunFig2a(DefaultFig2aConfig(s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultFig2aConfig(s)
+				cfg.Workers = workers
+				return RunFig2a(cfg)
 			},
 		},
 		{
 			ID:          "fig2b",
 			Description: "Impact of local update count T0 on convergence (fixed T)",
-			Run: func(s Scale) (Renderable, error) {
-				return RunFig2b(DefaultFig2bConfig(s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultFig2bConfig(s)
+				cfg.Workers = workers
+				return RunFig2b(cfg)
 			},
 		},
 		{
 			ID:          "fig3a",
 			Description: "FedML convergence on non-convex Sent140",
-			Run: func(s Scale) (Renderable, error) {
-				return RunFig3a(DefaultFig3aConfig(s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultFig3aConfig(s)
+				cfg.Workers = workers
+				return RunFig3a(cfg)
 			},
 		},
 		{
 			ID:          "fig3b",
 			Description: "Impact of target-source similarity on adaptation accuracy",
-			Run: func(s Scale) (Renderable, error) {
-				return RunFig3b(DefaultFig3bConfig(s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultFig3bConfig(s)
+				cfg.Workers = workers
+				return RunFig3b(cfg)
 			},
 		},
 		{
 			ID:          "fig3c",
 			Description: "FedML vs FedAvg fast adaptation on Synthetic(0.5,0.5)",
-			Run: func(s Scale) (Renderable, error) {
-				return RunAdaptCompare(DefaultAdaptCompareConfig("synthetic", s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultAdaptCompareConfig("synthetic", s)
+				cfg.Workers = workers
+				return RunAdaptCompare(cfg)
 			},
 		},
 		{
 			ID:          "fig3d",
 			Description: "FedML vs FedAvg fast adaptation on MNIST",
-			Run: func(s Scale) (Renderable, error) {
-				return RunAdaptCompare(DefaultAdaptCompareConfig("mnist", s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultAdaptCompareConfig("mnist", s)
+				cfg.Workers = workers
+				return RunAdaptCompare(cfg)
 			},
 		},
 		{
 			ID:          "fig3e",
 			Description: "FedML vs FedAvg fast adaptation on Sent140",
-			Run: func(s Scale) (Renderable, error) {
-				return RunAdaptCompare(DefaultAdaptCompareConfig("sent140", s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultAdaptCompareConfig("sent140", s)
+				cfg.Workers = workers
+				return RunAdaptCompare(cfg)
 			},
 		},
 		{
 			ID:          "fig4",
 			Description: "Robust FedML vs FedML on clean and FGSM data (λ sweep)",
-			Run: func(s Scale) (Renderable, error) {
-				return RunFig4(DefaultFig4Config(s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultFig4Config(s)
+				cfg.Workers = workers
+				return RunFig4(cfg)
 			},
 		},
 		{
 			ID:          "fig4e",
 			Description: "Robust-FedML improvement vs FGSM budget ξ",
-			Run: func(s Scale) (Renderable, error) {
-				return RunFig4e(DefaultFig4eConfig(s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultFig4eConfig(s)
+				cfg.Workers = workers
+				return RunFig4e(cfg)
 			},
 		},
 		{
 			ID:          "thm3",
 			Description: "Extension: target adaptation gap vs surrogate distance (Theorem 3)",
-			Run: func(s Scale) (Renderable, error) {
-				return RunThm3(DefaultThm3Config(s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultThm3Config(s)
+				cfg.Workers = workers
+				return RunThm3(cfg)
 			},
 		},
 		{
 			ID:          "ext-time",
 			Description: "Extension: modelled time-to-target-G by T0 and network profile",
-			Run: func(s Scale) (Renderable, error) {
-				return RunExtTime(DefaultExtTimeConfig(s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultExtTimeConfig(s)
+				cfg.Workers = workers
+				return RunExtTime(cfg)
 			},
 		},
 		{
 			ID:          "ext-baselines",
 			Description: "Extension: FedML vs FedML-FO vs FedAvg vs FedProx vs Reptile",
-			Run: func(s Scale) (Renderable, error) {
-				return RunExtBaselines(DefaultExtBaselinesConfig(s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultExtBaselinesConfig(s)
+				cfg.Workers = workers
+				return RunExtBaselines(cfg)
 			},
 		},
 		{
 			ID:          "ext-meta-opt",
 			Description: "Extension: outer-optimizer ablation (SGD vs momentum vs Adam)",
-			Run: func(s Scale) (Renderable, error) {
-				return RunExtMetaOpt(DefaultExtMetaOptConfig(s))
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultExtMetaOptConfig(s)
+				cfg.Workers = workers
+				return RunExtMetaOpt(cfg)
 			},
 		},
 	}
@@ -127,12 +155,12 @@ func All() []Experiment {
 	return exps
 }
 
-// Run executes the experiment with the given ID at the given scale and
-// returns its rendered output.
-func Run(id string, scale Scale) (string, error) {
+// Run executes the experiment with the given ID at the given scale on
+// `workers` workers (0 = GOMAXPROCS) and returns its rendered output.
+func Run(id string, scale Scale, workers int) (string, error) {
 	for _, e := range All() {
 		if e.ID == id {
-			res, err := e.Run(scale)
+			res, err := e.Run(scale, workers)
 			if err != nil {
 				return "", fmt.Errorf("experiment %s: %w", id, err)
 			}

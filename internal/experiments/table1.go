@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/par"
 )
 
 // Table1Config parameterizes the dataset-statistics table.
@@ -13,6 +14,8 @@ type Table1Config struct {
 	Scale Scale
 	// Seed drives all three generators.
 	Seed uint64
+	// Workers bounds the fan-out over the three generators (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Table1Row is one dataset's statistics, matching the paper's Table I
@@ -37,17 +40,26 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = ScaleCI
 	}
-	synth, err := syntheticFederation(0.5, 0.5, cfg.Scale, 5, cfg.Seed+1)
+	// Each generator owns its seed; run the three on the worker pool into
+	// index slots.
+	feds := make([]*data.Federation, 3)
+	err := par.ForEachErr(cfg.Workers, 3, func(c int) error {
+		var err error
+		switch c {
+		case 0:
+			feds[c], err = syntheticFederation(0.5, 0.5, cfg.Scale, 5, cfg.Seed+1)
+		case 1:
+			feds[c], err = mnistFederation(cfg.Scale, 5, cfg.Seed+2)
+		case 2:
+			feds[c], err = sent140Federation(cfg.Scale, 5, cfg.Seed+3)
+		}
+		if err != nil {
+			return fmt.Errorf("table1 generator %d: %w", c, err)
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("table1 synthetic: %w", err)
-	}
-	mnist, err := mnistFederation(cfg.Scale, 5, cfg.Seed+2)
-	if err != nil {
-		return nil, fmt.Errorf("table1 mnist: %w", err)
-	}
-	sent, err := sent140Federation(cfg.Scale, 5, cfg.Seed+3)
-	if err != nil {
-		return nil, fmt.Errorf("table1 sent140: %w", err)
+		return nil, err
 	}
 
 	res := &Table1Result{
@@ -57,7 +69,7 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 			{Dataset: "Sent140", Nodes: 706, Mean: 42, Std: 35},
 		},
 	}
-	for _, fed := range []*data.Federation{synth, mnist, sent} {
+	for _, fed := range feds {
 		s := fed.NodeStats()
 		res.Rows = append(res.Rows, Table1Row{
 			Dataset: fed.Name,

@@ -7,6 +7,7 @@ import (
 
 	"github.com/edgeai/fedml/internal/core"
 	"github.com/edgeai/fedml/internal/meta"
+	"github.com/edgeai/fedml/internal/par"
 )
 
 // Theorem 3 bounds the target's post-adaptation optimality gap by (among
@@ -29,6 +30,8 @@ type Thm3Config struct {
 	// optimum θ*_t.
 	OptSteps int
 	Seed     uint64
+	// Workers bounds the per-target fan-out (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultThm3Config returns the experiment configuration.
@@ -87,8 +90,11 @@ func RunThm3(cfg Thm3Config) (*Thm3Result, error) {
 	}
 	thetaC := trainRes.Theta
 
-	res := &Thm3Result{}
-	for ti, node := range fed.Targets {
+	// Targets are independent; measure them on the worker pool into index
+	// slots (θ_c is read-only during the fan-out).
+	res := &Thm3Result{Points: make([]Thm3Point, len(fed.Targets))}
+	par.ForEach(cfg.Workers, len(fed.Targets), func(ti int) {
+		node := fed.Targets[ti]
 		all := node.All()
 		// θ*_t: the target's own (regularized) optimum on its full data.
 		thetaT := meta.Adapt(m, thetaC, all, cfg.Alpha, cfg.OptSteps)
@@ -99,12 +105,12 @@ func RunThm3(cfg Thm3Config) (*Thm3Result, error) {
 		phiT := meta.Adapt(m, thetaT, node.Train, cfg.Alpha, 1)
 		gap := m.Loss(phiC, node.Test) - m.Loss(phiT, node.Test)
 
-		res.Points = append(res.Points, Thm3Point{
+		res.Points[ti] = Thm3Point{
 			Target:        ti,
 			SurrogateDist: thetaT.Dist(thetaC),
 			AdaptGap:      gap,
-		})
-	}
+		}
+	})
 	res.RankCorrelation = spearman(res.Points)
 	return res, nil
 }

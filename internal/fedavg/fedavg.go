@@ -9,10 +9,10 @@ package fedavg
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"github.com/edgeai/fedml/internal/data"
 	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/par"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 )
@@ -32,6 +32,9 @@ type Config struct {
 	ProxMu float64
 	// Seed drives the default initialization.
 	Seed uint64
+	// Workers bounds the per-round node fan-out (0 = GOMAXPROCS). Results
+	// are bit-identical for every worker count.
+	Workers int
 	// OnRound, when non-nil, is invoked after each aggregation. theta is
 	// a reused buffer, overwritten next round: borrowed for the duration
 	// of the call, Clone to retain.
@@ -88,52 +91,50 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 
 	theta := theta0.Clone()
 	rounds := cfg.T / cfg.T0
-	// Per-node persistent scratch: each goroutine owns one workspace and a
-	// pair of vectors reused across every step of every round, so the
-	// steady-state round loop allocates nothing.
-	type nodeScratch struct {
+	// Per-worker scratch (one workspace and gradient buffer per pool
+	// worker) plus per-node parameter buffers, all reused across rounds so
+	// the steady-state round loop allocates only error slots. Earlier
+	// revisions kept a single nodeErrs slice alive across rounds, which
+	// let a stale slot from a failed round leak into later ones;
+	// par.ForEachWorkerErr owns fresh slots per call.
+	type workerScratch struct {
 		ws nn.Workspace
-		ti tensor.Vec // node-local parameters
 		g  tensor.Vec // gradient buffer
 	}
 	np := m.NumParams()
-	scratch := make([]nodeScratch, len(fed.Sources))
-	updates := make([]tensor.Vec, len(fed.Sources))
-	for i := range scratch {
-		scratch[i] = nodeScratch{ws: nn.NewWorkspace(m), ti: tensor.NewVec(np), g: tensor.NewVec(np)}
-		updates[i] = scratch[i].ti
+	scratch := make([]workerScratch, par.Span(cfg.Workers, len(fed.Sources)))
+	for w := range scratch {
+		scratch[w] = workerScratch{ws: nn.NewWorkspace(m), g: tensor.NewVec(np)}
 	}
-	nodeErrs := make([]error, len(fed.Sources))
+	updates := make([]tensor.Vec, len(fed.Sources))
+	for i := range updates {
+		updates[i] = tensor.NewVec(np)
+	}
 	for round := 1; round <= rounds; round++ {
-		// Nodes are independent within a round; run them in parallel.
-		// Aggregation order is fixed by index, so results stay
-		// deterministic.
-		var wg sync.WaitGroup
-		for i := range fed.Sources {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				sc := &scratch[i]
-				sc.ti.CopyFrom(theta)
-				for t := 0; t < cfg.T0; t++ {
-					nn.GradInto(m, sc.ws, sc.ti, local[i], sc.g)
-					if cfg.ProxMu > 0 {
-						// ∇[(μ/2)‖θ_i − θ_global‖²] = μ(θ_i − θ_global).
-						sc.g.Axpy(cfg.ProxMu, sc.ti)
-						sc.g.Axpy(-cfg.ProxMu, theta)
-					}
-					sc.ti.Axpy(-cfg.Eta, sc.g)
+		// Nodes are independent within a round; run them on the pool.
+		// theta is read-only during the fan-out and aggregation order is
+		// fixed by index, so results are bit-identical for every worker
+		// count.
+		err := par.ForEachWorkerErr(cfg.Workers, len(fed.Sources), func(w, i int) error {
+			sc := &scratch[w]
+			ti := updates[i]
+			ti.CopyFrom(theta)
+			for t := 0; t < cfg.T0; t++ {
+				nn.GradInto(m, sc.ws, ti, local[i], sc.g)
+				if cfg.ProxMu > 0 {
+					// ∇[(μ/2)‖θ_i − θ_global‖²] = μ(θ_i − θ_global).
+					sc.g.Axpy(cfg.ProxMu, ti)
+					sc.g.Axpy(-cfg.ProxMu, theta)
 				}
-				if !sc.ti.IsFinite() {
-					nodeErrs[i] = fmt.Errorf("fedavg: node %d diverged in round %d", i, round)
-				}
-			}(i)
-		}
-		wg.Wait()
-		for _, err := range nodeErrs {
-			if err != nil {
-				return nil, err
+				ti.Axpy(-cfg.Eta, sc.g)
 			}
+			if !ti.IsFinite() {
+				return fmt.Errorf("fedavg: node %d diverged in round %d", i, round)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		// theta never aliases the node buffers, so aggregating into it is
 		// safe. OnRound borrows the reused buffer; callers must Clone to

@@ -1,6 +1,7 @@
 package fedavg
 
 import (
+	"math"
 	"testing"
 
 	"github.com/edgeai/fedml/internal/data"
@@ -170,5 +171,65 @@ func TestTrainDivergenceDetected(t *testing.T) {
 	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses, L2: 0.01}
 	if _, err := Train(m, fed, nil, Config{Eta: 1e200, T: 20, T0: 10}); err == nil {
 		t.Error("divergent FedAvg run reported success")
+	}
+}
+
+// nanAtCall wraps a model and poisons the gradient for a window of Grad
+// calls. With Workers=1 the round loop visits nodes strictly in index order
+// (T0 calls per node per round), so a call window addresses an exact
+// (node, round) pair.
+type nanAtCall struct {
+	nn.Model
+	calls    int
+	from, to int // 0-based [from, to) window of poisoned calls
+}
+
+func (m *nanAtCall) Grad(theta tensor.Vec, batch []data.Sample) tensor.Vec {
+	g := m.Model.Grad(theta, batch).Clone()
+	if m.calls >= m.from && m.calls < m.to {
+		g[0] = math.NaN()
+	}
+	m.calls++
+	return g
+}
+
+// Regression guard for the per-round error slots: a node failing in round 2
+// must be reported as exactly that node and that round — round 1 completed
+// cleanly, and no slot from a previous round may leak forward.
+func TestTrainDivergenceNamesNodeAndRound(t *testing.T) {
+	fed := tinyFederation(t)
+	base := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	const t0 = 4
+	n := len(fed.Sources)
+	from := n*t0 + 3*t0 // node 3's local steps in round 2
+	m := &nanAtCall{Model: base, from: from, to: from + t0}
+	_, err := Train(m, fed, nil, Config{Eta: 0.05, T: 3 * t0, T0: t0, Workers: 1})
+	if err == nil {
+		t.Fatal("poisoned gradient not detected")
+	}
+	want := "fedavg: node 3 diverged in round 2"
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err, want)
+	}
+}
+
+// Training results must be bit-identical for every worker count.
+func TestTrainWorkerCountInvariance(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	ref, err := Train(m, fed, nil, Config{Eta: 0.05, T: 20, T0: 5, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		res, err := Train(m, fed, nil, Config{Eta: 0.05, T: 20, T0: 5, Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Theta {
+			if res.Theta[i] != ref.Theta[i] {
+				t.Fatalf("workers=%d: theta[%d] = %v, want %v (bit-identical)", workers, i, res.Theta[i], ref.Theta[i])
+			}
+		}
 	}
 }

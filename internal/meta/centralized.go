@@ -7,15 +7,23 @@ import (
 	"github.com/edgeai/fedml/internal/data"
 	"github.com/edgeai/fedml/internal/nn"
 	"github.com/edgeai/fedml/internal/opt"
+	"github.com/edgeai/fedml/internal/par"
 	"github.com/edgeai/fedml/internal/tensor"
 )
 
-// TrainCentralized runs exact (sequential) meta-gradient descent on the
-// weighted objective G(θ) = Σ_i w_i L(φ_i(θ), test_i): the T0 = 1 reference
+// TrainCentralized runs exact meta-gradient descent on the weighted
+// objective G(θ) = Σ_i w_i L(φ_i(θ), test_i): the T0 = 1 reference
 // dynamics with perfect aggregation every step. The experiments use it to
 // estimate G(θ*) for convergence-error curves and to ablate the outer
 // update rule (any opt.Optimizer can drive the meta step; the paper's
 // algorithm corresponds to opt.SGD with LR = β).
+//
+// The per-task gradient pass fans out over `workers` workers (0 =
+// GOMAXPROCS, 1 = serial) with one Workspace per worker; per-task
+// gradients land in index slots and are reduced in fixed index order, so θ
+// is bit-identical for every worker count. The slot buffers cost
+// len(tasks) parameter vectors, which is fine at the node counts this
+// reference run is used for.
 //
 // onIter, when non-nil, observes θ after every update. θ0 is not modified.
 func TrainCentralized(
@@ -27,6 +35,7 @@ func TrainCentralized(
 	optimizer opt.Optimizer,
 	iters int,
 	mode GradMode,
+	workers int,
 	onIter func(iter int, theta tensor.Vec),
 ) (tensor.Vec, error) {
 	switch {
@@ -49,15 +58,25 @@ func TrainCentralized(
 		mode = SecondOrder
 	}
 
-	ws := NewWorkspace(m)
+	wss := make([]*Workspace, par.Span(workers, len(tasks)))
+	for w := range wss {
+		wss[w] = NewWorkspace(m)
+	}
 	theta := theta0.Clone()
 	grad := tensor.NewVec(len(theta))
-	g := tensor.NewVec(len(theta))
+	slots := make([]tensor.Vec, len(tasks))
+	for i := range slots {
+		slots[i] = tensor.NewVec(len(theta))
+	}
 	for t := 1; t <= iters; t++ {
+		// θ is read-only during the fan-out; each task's meta-gradient
+		// lands in its own slot.
+		par.ForEachWorker(workers, len(tasks), func(w, i int) {
+			wss[w].GradInto(theta, tasks[i].Train, tasks[i].Test, alpha, mode, slots[i])
+		})
 		grad.Zero()
-		for i, task := range tasks {
-			ws.GradInto(theta, task.Train, task.Test, alpha, mode, g)
-			grad.Axpy(weights[i], g)
+		for i := range tasks {
+			grad.Axpy(weights[i], slots[i])
 		}
 		if err := optimizer.Step(theta, grad); err != nil {
 			return nil, fmt.Errorf("meta: optimizer step %d: %w", t, err)

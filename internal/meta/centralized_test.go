@@ -38,7 +38,7 @@ func TestTrainCentralizedReducesObjective(t *testing.T) {
 	m, tasks, weights, theta0 := centralizedFixture(t)
 	const alpha = 0.05
 	before := objective(m, tasks, weights, theta0, alpha)
-	theta, err := TrainCentralized(m, tasks, weights, theta0, alpha, &opt.SGD{LR: 0.05}, 100, SecondOrder, nil)
+	theta, err := TrainCentralized(m, tasks, weights, theta0, alpha, &opt.SGD{LR: 0.05}, 100, SecondOrder, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestTrainCentralizedMatchesManualSGD(t *testing.T) {
 	// With opt.SGD the trajectory must equal the hand-rolled loop.
 	m, tasks, weights, theta0 := centralizedFixture(t)
 	const alpha, beta = 0.05, 0.02
-	got, err := TrainCentralized(m, tasks, weights, theta0, alpha, &opt.SGD{LR: beta}, 10, SecondOrder, nil)
+	got, err := TrainCentralized(m, tasks, weights, theta0, alpha, &opt.SGD{LR: beta}, 10, SecondOrder, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestTrainCentralizedWithAdam(t *testing.T) {
 	m, tasks, weights, theta0 := centralizedFixture(t)
 	const alpha = 0.05
 	before := objective(m, tasks, weights, theta0, alpha)
-	theta, err := TrainCentralized(m, tasks, weights, theta0, alpha, &opt.Adam{LR: 0.05}, 100, SecondOrder, nil)
+	theta, err := TrainCentralized(m, tasks, weights, theta0, alpha, &opt.Adam{LR: 0.05}, 100, SecondOrder, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestTrainCentralizedWithAdam(t *testing.T) {
 func TestTrainCentralizedOnIterCallback(t *testing.T) {
 	m, tasks, weights, theta0 := centralizedFixture(t)
 	var iters []int
-	_, err := TrainCentralized(m, tasks, weights, theta0, 0.05, &opt.SGD{LR: 0.01}, 3, SecondOrder,
+	_, err := TrainCentralized(m, tasks, weights, theta0, 0.05, &opt.SGD{LR: 0.01}, 3, SecondOrder, 1,
 		func(iter int, theta tensor.Vec) { iters = append(iters, iter) })
 	if err != nil {
 		t.Fatal(err)
@@ -104,32 +104,57 @@ func TestTrainCentralizedOnIterCallback(t *testing.T) {
 func TestTrainCentralizedValidation(t *testing.T) {
 	m, tasks, weights, theta0 := centralizedFixture(t)
 	sgd := &opt.SGD{LR: 0.01}
-	if _, err := TrainCentralized(nil, tasks, weights, theta0, 0.05, sgd, 1, SecondOrder, nil); err == nil {
+	if _, err := TrainCentralized(nil, tasks, weights, theta0, 0.05, sgd, 1, SecondOrder, 1, nil); err == nil {
 		t.Error("nil model accepted")
 	}
-	if _, err := TrainCentralized(m, nil, nil, theta0, 0.05, sgd, 1, SecondOrder, nil); err == nil {
+	if _, err := TrainCentralized(m, nil, nil, theta0, 0.05, sgd, 1, SecondOrder, 1, nil); err == nil {
 		t.Error("no tasks accepted")
 	}
-	if _, err := TrainCentralized(m, tasks, weights[:1], theta0, 0.05, sgd, 1, SecondOrder, nil); err == nil {
+	if _, err := TrainCentralized(m, tasks, weights[:1], theta0, 0.05, sgd, 1, SecondOrder, 1, nil); err == nil {
 		t.Error("weight mismatch accepted")
 	}
-	if _, err := TrainCentralized(m, tasks, weights, theta0, 0.05, nil, 1, SecondOrder, nil); err == nil {
+	if _, err := TrainCentralized(m, tasks, weights, theta0, 0.05, nil, 1, SecondOrder, 1, nil); err == nil {
 		t.Error("nil optimizer accepted")
 	}
-	if _, err := TrainCentralized(m, tasks, weights, theta0, 0, sgd, 1, SecondOrder, nil); err == nil {
+	if _, err := TrainCentralized(m, tasks, weights, theta0, 0, sgd, 1, SecondOrder, 1, nil); err == nil {
 		t.Error("zero α accepted")
 	}
-	if _, err := TrainCentralized(m, tasks, weights, theta0, 0.05, sgd, 0, SecondOrder, nil); err == nil {
+	if _, err := TrainCentralized(m, tasks, weights, theta0, 0.05, sgd, 0, SecondOrder, 1, nil); err == nil {
 		t.Error("zero iters accepted")
 	}
-	if _, err := TrainCentralized(m, tasks, weights, tensor.NewVec(1), 0.05, sgd, 1, SecondOrder, nil); err == nil {
+	if _, err := TrainCentralized(m, tasks, weights, tensor.NewVec(1), 0.05, sgd, 1, SecondOrder, 1, nil); err == nil {
 		t.Error("bad θ0 accepted")
 	}
 }
 
 func TestTrainCentralizedDivergenceDetected(t *testing.T) {
 	m, tasks, weights, theta0 := centralizedFixture(t)
-	if _, err := TrainCentralized(m, tasks, weights, theta0, 0.05, &opt.SGD{LR: 1e200}, 5, SecondOrder, nil); err == nil {
+	if _, err := TrainCentralized(m, tasks, weights, theta0, 0.05, &opt.SGD{LR: 1e200}, 5, SecondOrder, 1, nil); err == nil {
 		t.Error("divergence not detected")
+	}
+}
+
+// TrainCentralized must produce a bit-identical trajectory for every worker
+// count: per-task gradients land in index slots and are reduced in index
+// order regardless of the schedule.
+func TestTrainCentralizedWorkerCountInvariance(t *testing.T) {
+	m, tasks, weights, theta0 := centralizedFixture(t)
+	const alpha = 0.05
+	for _, mode := range []GradMode{SecondOrder, FirstOrder} {
+		ref, err := TrainCentralized(m, tasks, weights, theta0, alpha, &opt.SGD{LR: 0.02}, 25, mode, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := TrainCentralized(m, tasks, weights, theta0, alpha, &opt.SGD{LR: 0.02}, 25, mode, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("mode=%v workers=%d: theta[%d] = %v, want %v (bit-identical)", mode, workers, i, got[i], ref[i])
+				}
+			}
+		}
 	}
 }

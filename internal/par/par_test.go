@@ -1,0 +1,160 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestSpanClamps(t *testing.T) {
+	if got := Span(8, 3); got != 3 {
+		t.Errorf("Span(8,3) = %d, want 3", got)
+	}
+	if got := Span(2, 100); got != 2 {
+		t.Errorf("Span(2,100) = %d, want 2", got)
+	}
+	if got := Span(4, 0); got != 1 {
+		t.Errorf("Span(4,0) = %d, want 1", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		hits := make([]atomic.Int64, n)
+		ForEach(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -5, func(int) { ran = true })
+	if ran {
+		t.Error("fn invoked for empty index space")
+	}
+}
+
+func TestForEachWorkerIdsInSpan(t *testing.T) {
+	const workers, n = 4, 40
+	span := Span(workers, n)
+	var bad atomic.Int64
+	ForEachWorker(workers, n, func(w, i int) {
+		if w < 0 || w >= span {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d calls saw a worker id outside [0, %d)", bad.Load(), span)
+	}
+}
+
+func TestForEachSlotResultsWorkerCountInvariant(t *testing.T) {
+	// The determinism contract: per-index slot outputs are identical for
+	// every worker count.
+	const n = 64
+	ref := make([]float64, n)
+	ForEach(1, n, func(i int) { ref[i] = float64(i*i) / 7 })
+	for _, workers := range []int{2, 3, 8} {
+		got := make([]float64, n)
+		ForEach(workers, n, func(i int) { got[i] = float64(i*i) / 7 })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %v, want %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForEachErrReturnsLowestIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEachErr(workers, 20, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 3" {
+			t.Errorf("workers=%d: first error = %v, want boom 3", workers, err)
+		}
+	}
+}
+
+func TestForEachErrRunsAllIndicesDespiteFailure(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEachErr(4, 30, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if ran.Load() != 30 {
+		t.Errorf("only %d/30 indices ran after failure", ran.Load())
+	}
+}
+
+func TestForEachErrNoStaleErrorsAcrossCalls(t *testing.T) {
+	// Regression guard for the stale per-node error-slot trap: each call
+	// owns fresh error slots, so a failure in one round cannot resurface
+	// in the next.
+	fail := true
+	if err := ForEachErr(4, 8, func(i int) error {
+		if fail && i == 5 {
+			return errors.New("round-1 failure")
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("injected failure not reported")
+	}
+	fail = false
+	if err := ForEachErr(4, 8, func(i int) error { return nil }); err != nil {
+		t.Errorf("clean round reported stale error: %v", err)
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if FirstError(nil) != nil {
+		t.Error("empty slice")
+	}
+	e1, e2 := errors.New("a"), errors.New("b")
+	if got := FirstError([]error{nil, e1, e2}); got != e1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestForEachWorkerErrPassesWorkerId(t *testing.T) {
+	span := Span(3, 12)
+	var bad atomic.Int64
+	err := ForEachWorkerErr(3, 12, func(w, i int) error {
+		if w < 0 || w >= span {
+			bad.Add(1)
+		}
+		return nil
+	})
+	if err != nil || bad.Load() != 0 {
+		t.Errorf("err=%v, %d out-of-span worker ids", err, bad.Load())
+	}
+}

@@ -17,10 +17,10 @@ package reptile
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"github.com/edgeai/fedml/internal/data"
 	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/par"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 )
@@ -37,6 +37,9 @@ type Config struct {
 	Rounds int
 	// Seed drives the default initialization.
 	Seed uint64
+	// Workers bounds the per-round node fan-out (0 = GOMAXPROCS). Results
+	// are bit-identical for every worker count.
+	Workers int
 	// OnRound, when non-nil, is invoked after every round. theta is a
 	// reused buffer, overwritten next round: borrowed for the duration of
 	// the call, Clone to retain.
@@ -86,46 +89,42 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 
 	weights := fed.Weights()
 	theta := theta0.Clone()
-	// Per-node persistent scratch reused across rounds: one workspace, the
-	// adapted parameters φ_i, and a gradient buffer per goroutine.
-	type nodeScratch struct {
-		ws  nn.Workspace
-		phi tensor.Vec
-		g   tensor.Vec
+	// Per-worker scratch (workspace + gradient buffer) and per-node
+	// adapted-parameter slots φ_i, all reused across rounds. Error slots
+	// are owned by par.ForEachWorkerErr and fresh per round, so a failure
+	// in one round cannot leak into the next.
+	type workerScratch struct {
+		ws nn.Workspace
+		g  tensor.Vec
 	}
 	np := m.NumParams()
-	scratch := make([]nodeScratch, len(fed.Sources))
+	scratch := make([]workerScratch, par.Span(cfg.Workers, len(fed.Sources)))
+	for w := range scratch {
+		scratch[w] = workerScratch{ws: nn.NewWorkspace(m), g: tensor.NewVec(np)}
+	}
 	adapted := make([]tensor.Vec, len(fed.Sources))
-	for i := range scratch {
-		scratch[i] = nodeScratch{ws: nn.NewWorkspace(m), phi: tensor.NewVec(np), g: tensor.NewVec(np)}
-		adapted[i] = scratch[i].phi
+	for i := range adapted {
+		adapted[i] = tensor.NewVec(np)
 	}
 	avg := tensor.NewVec(np)
-	nodeErrs := make([]error, len(fed.Sources))
 	for round := 1; round <= cfg.Rounds; round++ {
-		// Inner runs are independent; execute them in parallel and keep the
+		// Inner runs are independent; run them on the pool and keep the
 		// aggregation order fixed by index for determinism.
-		var wg sync.WaitGroup
-		for i, nd := range fed.Sources {
-			wg.Add(1)
-			go func(i int, nd *data.NodeDataset) {
-				defer wg.Done()
-				sc := &scratch[i]
-				sc.phi.CopyFrom(theta)
-				for s := 0; s < cfg.InnerSteps; s++ {
-					nn.GradInto(m, sc.ws, sc.phi, nd.Train, sc.g)
-					sc.phi.Axpy(-cfg.InnerLR, sc.g)
-				}
-				if !sc.phi.IsFinite() {
-					nodeErrs[i] = fmt.Errorf("reptile: node %d diverged in round %d", i, round)
-				}
-			}(i, nd)
-		}
-		wg.Wait()
-		for _, err := range nodeErrs {
-			if err != nil {
-				return nil, err
+		err := par.ForEachWorkerErr(cfg.Workers, len(fed.Sources), func(w, i int) error {
+			sc := &scratch[w]
+			phi := adapted[i]
+			phi.CopyFrom(theta)
+			for s := 0; s < cfg.InnerSteps; s++ {
+				nn.GradInto(m, sc.ws, phi, fed.Sources[i].Train, sc.g)
+				phi.Axpy(-cfg.InnerLR, sc.g)
 			}
+			if !phi.IsFinite() {
+				return fmt.Errorf("reptile: node %d diverged in round %d", i, round)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		tensor.WeightedSumInto(avg, weights, adapted)
 		// θ ← (1−ε)θ + ε·avg.

@@ -1,6 +1,7 @@
 package reptile
 
 import (
+	"math"
 	"testing"
 
 	"github.com/edgeai/fedml/internal/data"
@@ -136,5 +137,65 @@ func TestTrainDivergenceDetected(t *testing.T) {
 	fed, m := tinyFederation(t)
 	if _, err := Train(m, fed, nil, Config{InnerLR: 1e200, MetaLR: 1, InnerSteps: 3, Rounds: 2}); err == nil {
 		t.Error("divergent run reported success")
+	}
+}
+
+// nanAtCall poisons a window of Grad calls; with Workers=1 the round loop
+// visits nodes in index order (InnerSteps calls per node per round), so the
+// window addresses an exact (node, round) pair.
+type nanAtCall struct {
+	nn.Model
+	calls    int
+	from, to int
+}
+
+func (m *nanAtCall) Grad(theta tensor.Vec, batch []data.Sample) tensor.Vec {
+	g := m.Model.Grad(theta, batch).Clone()
+	if m.calls >= m.from && m.calls < m.to {
+		g[0] = math.NaN()
+	}
+	m.calls++
+	return g
+}
+
+// Regression guard for the per-round error slots: a node failing in round 2
+// is reported as that node and round, with no stale slot from round 1.
+func TestTrainDivergenceNamesNodeAndRound(t *testing.T) {
+	fed, base := tinyFederation(t)
+	const steps = 3
+	n := len(fed.Sources)
+	from := n*steps + 2*steps // node 2's inner run in round 2
+	m := &nanAtCall{Model: base, from: from, to: from + steps}
+	cfg := Config{InnerLR: 0.05, MetaLR: 0.5, InnerSteps: steps, Rounds: 3, Workers: 1}
+	_, err := Train(m, fed, nil, cfg)
+	if err == nil {
+		t.Fatal("poisoned gradient not detected")
+	}
+	want := "reptile: node 2 diverged in round 2"
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err, want)
+	}
+}
+
+// Training results must be bit-identical for every worker count.
+func TestTrainWorkerCountInvariance(t *testing.T) {
+	fed, m := tinyFederation(t)
+	cfg := Config{InnerLR: 0.05, MetaLR: 0.5, InnerSteps: 3, Rounds: 5, Seed: 3}
+	cfg.Workers = 1
+	ref, err := Train(m, fed, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		res, err := Train(m, fed, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Theta {
+			if res.Theta[i] != ref.Theta[i] {
+				t.Fatalf("workers=%d: theta[%d] = %v, want %v (bit-identical)", workers, i, res.Theta[i], ref.Theta[i])
+			}
+		}
 	}
 }
