@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short check chaos-smoke bench bench-json bench-paper bench-par fuzz examples clean
+.PHONY: all build vet test test-race test-short check chaos-smoke obs-smoke profile bench bench-json bench-paper bench-par fuzz examples clean
 
 all: build vet test
 
@@ -36,6 +36,22 @@ chaos-smoke:
 	$(GO) run ./cmd/fedml train -dataset synthetic -nodes 6 -k 3 -t 30 -t0 5 \
 		-seed 7 -round-timeout 500ms -guard 25 \
 		-chaos "1:kill@2,1:revive@4,2:corrupt@3" -chaos-seed 11
+
+# Observability smoke: a chaos run writes per-round metrics JSONL, then
+# cmd/obscheck verifies the schema, monotonicity, and that the per-round
+# traffic deltas reconstruct the final totals exactly.
+obs-smoke:
+	$(GO) run ./cmd/fedml train -dataset synthetic -nodes 6 -k 3 -t 30 -t0 5 \
+		-seed 7 -round-timeout 500ms -guard 25 \
+		-chaos "1:kill@2,1:revive@4,2:corrupt@3" -chaos-seed 11 \
+		-metrics-out obs_smoke.jsonl
+	$(GO) run ./cmd/obscheck obs_smoke.jsonl
+
+# CPU + heap profiles of the hot end-to-end benchmark (fig2a). Inspect with
+# `go tool pprof cpu.pprof`; live runs expose the same data via -pprof.
+profile:
+	$(GO) test -run '^$$' -bench 'Fig2aNodeSimilarity' -benchmem \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
 
 # One testing.B per paper table/figure plus ablations (see bench_test.go).
 bench:
@@ -72,4 +88,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f fedml fedml-bench test_output.txt bench_output.txt
+	rm -f fedml fedml-bench test_output.txt bench_output.txt obs_smoke.jsonl *.pprof

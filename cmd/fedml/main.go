@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
 	"time"
 
@@ -36,6 +38,7 @@ import (
 	"github.com/edgeai/fedml/internal/eval"
 	"github.com/edgeai/fedml/internal/meta"
 	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/obs"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 	"github.com/edgeai/fedml/internal/transport"
@@ -229,6 +232,48 @@ func (f *faultFlags) apply(cfg *core.Config) error {
 	return nil
 }
 
+// obsFlags holds the observability flags shared by the train and platform
+// modes.
+type obsFlags struct {
+	metricsOut string
+	pprofAddr  string
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	o := &obsFlags{}
+	fs.StringVar(&o.metricsOut, "metrics-out", "", "write per-round metrics as JSON lines (schema-versioned) to this file")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar comm counters on this address (e.g. localhost:6060)")
+	return o
+}
+
+// start builds the observer stack the flags requested: a JSONL metrics sink,
+// and — when a pprof address is given — an expvar mirror of the comm
+// counters served next to /debug/pprof. The returned close function flushes
+// the metrics file; run it once training ends. With no flags set it returns
+// a nil observer, which the training stack treats as zero-overhead.
+func (o *obsFlags) start() (obs.RoundObserver, func() error, error) {
+	var observers []obs.RoundObserver
+	closeFn := func() error { return nil }
+	if o.metricsOut != "" {
+		sink, err := obs.CreateJSONL(o.metricsOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		observers = append(observers, sink)
+		closeFn = sink.Close
+	}
+	if o.pprofAddr != "" {
+		observers = append(observers, obs.NewExpvarSink("fedml.comm"))
+		ln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pprof listen %s: %w", o.pprofAddr, err)
+		}
+		fmt.Printf("profiling: http://%s/debug/pprof/ (comm counters at /debug/vars)\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+	return obs.Multi(observers...), closeFn, nil
+}
+
 // printResilience summarizes the fault accounting of a finished run.
 func printResilience(stats core.CommStats) {
 	if stats.Dropped+stats.Rejoined+stats.Rejected+stats.SkippedRounds == 0 {
@@ -256,6 +301,7 @@ func runTrain(args []string) error {
 	fs := flag.NewFlagSet("fedml train", flag.ContinueOnError)
 	c := addCommonFlags(fs)
 	ff := addFaultFlags(fs)
+	of := addObsFlags(fs)
 	adaptSteps := fs.Int("adapt-steps", 5, "fast-adaptation gradient steps at target nodes")
 	savePath := fs.String("save", "", "write the trained meta-model checkpoint to this path")
 	if err := fs.Parse(args); err != nil {
@@ -269,18 +315,33 @@ func runTrain(args []string) error {
 	fmt.Printf("federation %s: %d source nodes, %d target nodes, dim %d, %d classes\n",
 		fed.Name, len(fed.Sources), len(fed.Targets), fed.Dim, fed.NumClasses)
 
+	ob, closeObs, err := of.start()
+	if err != nil {
+		return err
+	}
 	cfg := c.trainConfig(func(round, iter int, theta tensor.Vec) {
 		if round%5 == 0 || iter == c.t {
-			fmt.Printf("round %4d (iter %5d): G(θ) = %.4f\n",
-				round, iter, eval.GlobalMetaObjectiveN(m, fed, c.alpha, theta, c.workers))
+			g := eval.GlobalMetaObjectiveN(m, fed, c.alpha, theta, c.workers)
+			fmt.Printf("round %4d (iter %5d): G(θ) = %.4f\n", round, iter, g)
+			// OnRound fires after the round's end event, so the sinks fold
+			// this measurement into the record of the round it belongs to.
+			obs.Emit(ob, obs.Event{Type: obs.TypeMetaLoss, Round: round, Iter: iter, Value: g})
 		}
 	})
+	cfg.Observer = ob
 	if err := ff.apply(&cfg); err != nil {
 		return err
 	}
 	res, err := core.Train(m, fed, nil, cfg)
 	if err != nil {
+		_ = closeObs()
 		return err
+	}
+	if err := closeObs(); err != nil {
+		return err
+	}
+	if of.metricsOut != "" {
+		fmt.Printf("per-round metrics written to %s\n", of.metricsOut)
 	}
 	fmt.Printf("training done: %d rounds, %d messages, %.1f KiB transferred\n",
 		res.Comm.Rounds, res.Comm.Messages, float64(res.Comm.Bytes)/1024)
@@ -372,6 +433,7 @@ func runPlatform(args []string) error {
 	fs := flag.NewFlagSet("fedml platform", flag.ContinueOnError)
 	c := addCommonFlags(fs)
 	ff := addFaultFlags(fs)
+	of := addObsFlags(fs)
 	addr := fs.String("addr", ":7001", "listen address for node connections")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -408,10 +470,16 @@ func runPlatform(args []string) error {
 		weights[i] = 1
 	}
 	theta0 := m.InitParams(rng.New(c.seed))
+	ob, closeObs, err := of.start()
+	if err != nil {
+		return err
+	}
 	cfg := c.trainConfig(func(round, iter int, theta tensor.Vec) {
-		fmt.Printf("round %4d (iter %5d): G(θ) = %.4f\n",
-			round, iter, eval.GlobalMetaObjectiveN(m, fed, c.alpha, theta, c.workers))
+		g := eval.GlobalMetaObjectiveN(m, fed, c.alpha, theta, c.workers)
+		fmt.Printf("round %4d (iter %5d): G(θ) = %.4f\n", round, iter, g)
+		obs.Emit(ob, obs.Event{Type: obs.TypeMetaLoss, Round: round, Iter: iter, Value: g})
 	})
+	cfg.Observer = ob
 	if err := ff.apply(&cfg); err != nil {
 		return err
 	}
@@ -424,7 +492,14 @@ func runPlatform(args []string) error {
 	}
 	theta, stats, err := core.RunPlatform(links, weights, theta0, cfg)
 	if err != nil {
+		_ = closeObs()
 		return err
+	}
+	if err := closeObs(); err != nil {
+		return err
+	}
+	if of.metricsOut != "" {
+		fmt.Printf("per-round metrics written to %s\n", of.metricsOut)
 	}
 	fmt.Printf("done: %d rounds, %d messages, %.1f KiB\n", stats.Rounds, stats.Messages, float64(stats.Bytes)/1024)
 	printResilience(stats)

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/edgeai/fedml/internal/obs"
 )
 
 func TestRunRequiresMode(t *testing.T) {
@@ -206,5 +209,61 @@ func TestTrainFromCSV(t *testing.T) {
 	// Missing flags must error.
 	if err := run([]string{"train", "-dataset", "csv", "-t", "10", "-t0", "5"}); err == nil {
 		t.Error("csv without path accepted")
+	}
+}
+
+// TestTrainMetricsOut drives the full -metrics-out path: a chaos run must
+// leave a parseable, schema-versioned JSONL trail with one record per
+// round, monotone round numbers, and a loss attached to the sampled rounds.
+func TestTrainMetricsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	err := quiet(t, func() error {
+		return run([]string{"train", "-dataset", "synthetic", "-nodes", "6", "-k", "3",
+			"-t", "30", "-t0", "5", "-seed", "7",
+			"-round-timeout", "500ms", "-guard", "25",
+			"-chaos", "1:kill@2,1:revive@4", "-chaos-seed", "11",
+			"-metrics-out", path})
+	})
+	if err != nil {
+		t.Fatalf("train -metrics-out: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("only %d metric records for a 6-round run", len(lines))
+	}
+	prevRound := 0
+	sawLoss := false
+	for k, line := range lines {
+		var rec obs.RoundRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d unparseable: %v", k+1, err)
+		}
+		if rec.Schema != obs.SchemaVersion {
+			t.Fatalf("line %d schema %d, want %d", k+1, rec.Schema, obs.SchemaVersion)
+		}
+		if rec.Round <= prevRound {
+			t.Fatalf("line %d round %d not above %d", k+1, rec.Round, prevRound)
+		}
+		prevRound = rec.Round
+		if rec.Loss != nil {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Error("no record carries the sampled meta-loss")
+	}
+}
+
+// TestTrainMetricsOutRejectsBadPath surfaces sink-creation failures instead
+// of silently training without metrics.
+func TestTrainMetricsOutRejectsBadPath(t *testing.T) {
+	err := run([]string{"train", "-t", "10", "-t0", "5",
+		"-metrics-out", filepath.Join(t.TempDir(), "no", "such", "dir", "m.jsonl")})
+	if err == nil {
+		t.Error("unwritable metrics path accepted")
 	}
 }

@@ -230,7 +230,7 @@ func TestRobustNodeStateAdversarialSchedule(t *testing.T) {
 	theta := m.InitParams(rng.New(2))
 	for round := 0; round < 4; round++ {
 		var err error
-		theta, err = n.localUpdates(theta, 2)
+		theta, err = n.localUpdates(theta, 2, round+1)
 		if err != nil {
 			t.Fatal(err)
 		}

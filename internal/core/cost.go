@@ -34,10 +34,21 @@ func (tm TimeModel) Validate() error {
 	return nil
 }
 
-// Estimate returns the modelled wall-clock time of a run that performed
-// stats.Rounds aggregations over totalIters local iterations with
-// paramBytes-sized parameter messages. Per round: downlink + T0 steps of
-// parallel local compute + uplink.
+// Estimate returns the modelled wall-clock time of a run that produced
+// stats over totalIters local iterations with paramBytes-sized parameter
+// messages.
+//
+// When stats carries observed traffic (Messages > 0) the communication cost
+// is billed from it directly — Messages one-way latencies plus Bytes over
+// the shared access link — so re-probe traffic, rejected updates, and
+// messages lost to drops (which CommStats counts per the attempted/delivered
+// semantics documented on CommStats.Messages) all price in. The previous
+// formula assumed exactly 2 messages per round and silently undercounted
+// any run with fault-tolerant re-probes.
+//
+// When Messages is zero (a hand-built CommStats from a round count alone,
+// as the what-if experiments use) it falls back to the idealized 2 messages
+// of paramBytes per round, which reproduces the old behavior exactly.
 func (tm TimeModel) Estimate(stats CommStats, totalIters, paramBytes int) (time.Duration, error) {
 	if err := tm.Validate(); err != nil {
 		return 0, err
@@ -45,13 +56,22 @@ func (tm TimeModel) Estimate(stats CommStats, totalIters, paramBytes int) (time.
 	if stats.Rounds <= 0 || totalIters < 0 || paramBytes < 0 {
 		return 0, fmt.Errorf("core: invalid run shape rounds=%d iters=%d bytes=%d", stats.Rounds, totalIters, paramBytes)
 	}
+	if stats.Messages < 0 || stats.Bytes < 0 {
+		return 0, fmt.Errorf("core: invalid traffic counts messages=%d bytes=%d", stats.Messages, stats.Bytes)
+	}
+	msgs := stats.Messages
+	bytes := stats.Bytes
+	if msgs == 0 {
+		msgs = 2 * stats.Rounds // idealized downlink + uplink per round
+		bytes = int64(msgs) * int64(paramBytes)
+	}
 	var transfer time.Duration
 	if tm.BandwidthBps > 0 {
-		transfer = time.Duration(float64(paramBytes) / tm.BandwidthBps * float64(time.Second))
+		transfer = time.Duration(float64(bytes) / tm.BandwidthBps * float64(time.Second))
 	}
-	perRoundComm := 2 * (tm.OneWayLatency + transfer) // downlink + uplink
+	comm := time.Duration(msgs)*tm.OneWayLatency + transfer
 	compute := time.Duration(totalIters) * tm.LocalStepTime
-	return time.Duration(stats.Rounds)*perRoundComm + compute, nil
+	return comm + compute, nil
 }
 
 // EdgeProfiles are representative network profiles for the trade-off

@@ -39,6 +39,57 @@ func TestTimeModelEstimate(t *testing.T) {
 	}
 }
 
+// TestTimeModelEstimateObservedTraffic is the regression test for the
+// 2-messages-per-round assumption: a fault-tolerant run with a drop/rejoin
+// cycle carries re-probe traffic in CommStats, and the estimate must bill
+// the observed Messages/Bytes, not an idealized round count.
+func TestTimeModelEstimateObservedTraffic(t *testing.T) {
+	tm := TimeModel{
+		OneWayLatency: 10 * time.Millisecond,
+		BandwidthBps:  1e6,
+		LocalStepTime: time.Millisecond,
+	}
+	const paramBytes = 100_000
+	// 10 rounds of 4 nodes (2 messages per node-round), plus 6 re-probes of
+	// a dropped node before it rejoined — the traffic shape PR 2's
+	// drop/rejoin protocol produces and the old formula ignored.
+	stats := CommStats{
+		Rounds:   10,
+		Messages: 2*4*10 + 6,
+		Bytes:    int64(2*4*10+6) * paramBytes,
+		Dropped:  1,
+		Rejoined: 1,
+	}
+	got, err := tm.Estimate(stats, 100, paramBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfer := time.Duration(float64(stats.Bytes) / tm.BandwidthBps * float64(time.Second))
+	want := time.Duration(stats.Messages)*tm.OneWayLatency + transfer + 100*tm.LocalStepTime
+	if got != want {
+		t.Errorf("observed-traffic estimate = %v, want %v", got, want)
+	}
+	// Same run priced by the fallback (no observed traffic) must be cheaper:
+	// it misses the re-probes and the extra per-node messages.
+	fallback, err := tm.Estimate(CommStats{Rounds: 10}, 100, paramBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fallback >= got {
+		t.Errorf("fallback %v not below observed-traffic estimate %v", fallback, got)
+	}
+}
+
+func TestTimeModelEstimateNegativeTraffic(t *testing.T) {
+	tm := TimeModel{}
+	if _, err := tm.Estimate(CommStats{Rounds: 1, Messages: -1}, 1, 1); err == nil {
+		t.Error("negative message count accepted")
+	}
+	if _, err := tm.Estimate(CommStats{Rounds: 1, Messages: 1, Bytes: -8}, 1, 1); err == nil {
+		t.Error("negative byte count accepted")
+	}
+}
+
 func TestTimeModelInfiniteBandwidth(t *testing.T) {
 	tm := TimeModel{OneWayLatency: time.Millisecond}
 	got, err := tm.Estimate(CommStats{Rounds: 5}, 0, 1<<30)

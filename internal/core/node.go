@@ -10,6 +10,7 @@ import (
 	"github.com/edgeai/fedml/internal/dro"
 	"github.com/edgeai/fedml/internal/meta"
 	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/obs"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 	"github.com/edgeai/fedml/internal/transport"
@@ -155,7 +156,11 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 			if msg.LocalSteps > 0 {
 				steps = msg.LocalSteps
 			}
-			theta, err := n.localUpdates(tensor.Vec(msg.Params), steps)
+			var compT0 time.Time
+			if cfg.Observer != nil {
+				compT0 = time.Now()
+			}
+			theta, err := n.localUpdates(tensor.Vec(msg.Params), steps, msg.Round)
 			if err != nil {
 				// Report the failure to the platform so it can abort the
 				// round instead of hanging.
@@ -166,6 +171,12 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 					Err:    err.Error(),
 				})
 				return fmt.Errorf("core: node %d local update: %w", nc.ID, err)
+			}
+			if cfg.Observer != nil {
+				cfg.Observer.Observe(obs.Event{
+					Type: obs.TypeNodeCompute, Round: msg.Round, Node: nc.ID,
+					Iter: n.iter, T0: steps, Dur: time.Since(compT0),
+				})
 			}
 			// Ownership of Msg.Params transfers to the receiver on Send
 			// (see transport.Msg); theta is the node's reusable buffer, so
@@ -223,8 +234,9 @@ func newNodeState(cfg Config, m nn.Model, d *data.NodeDataset, id int) *nodeStat
 // localUpdates performs `steps` local meta-updates starting from the
 // received global parameters and returns the updated vector (Algorithm 1
 // lines 6–13, Algorithm 2 lines 6–22). The step count is normally T0 but
-// the platform may override it per round.
-func (n *nodeState) localUpdates(global tensor.Vec, steps int) (tensor.Vec, error) {
+// the platform may override it per round. round tags emitted observability
+// events and does not influence the computation.
+func (n *nodeState) localUpdates(global tensor.Vec, steps, round int) (tensor.Vec, error) {
 	if len(global) != n.model.NumParams() {
 		return nil, fmt.Errorf("core: node %d got %d params, model needs %d", n.id, len(global), n.model.NumParams())
 	}
@@ -251,7 +263,7 @@ func (n *nodeState) localUpdates(global tensor.Vec, steps int) (tensor.Vec, erro
 			return nil, fmt.Errorf("core: node %d diverged at iteration %d (non-finite parameters)", n.id, n.iter)
 		}
 		if r := cfg.Robust; r != nil && n.iter%(r.N0*cfg.T0) == 0 && n.advRound < r.R {
-			if err := n.generateAdversarial(phi); err != nil {
+			if err := n.generateAdversarial(phi, round); err != nil {
 				return nil, err
 			}
 		}
@@ -263,8 +275,12 @@ func (n *nodeState) localUpdates(global tensor.Vec, steps int) (tensor.Vec, erro
 // points uniformly from D_comb = D_test ∪ D_adv, run Ta steps of penalized
 // gradient ascent on each under the current inner-adapted model φ, and
 // append the results to D_adv.
-func (n *nodeState) generateAdversarial(phi tensor.Vec) error {
+func (n *nodeState) generateAdversarial(phi tensor.Vec, round int) error {
 	r := n.cfg.Robust
+	var genT0 time.Time
+	if n.cfg.Observer != nil {
+		genT0 = time.Now()
+	}
 	comb := make([]data.Sample, 0, len(n.data.Test)+len(n.adv))
 	comb = append(comb, n.data.Test...)
 	comb = append(comb, n.adv...)
@@ -290,5 +306,11 @@ func (n *nodeState) generateAdversarial(phi tensor.Vec) error {
 	}
 	n.adv = append(n.adv, fresh...)
 	n.advRound++
+	if n.cfg.Observer != nil {
+		n.cfg.Observer.Observe(obs.Event{
+			Type: obs.TypeAdvRegen, Round: round, Node: n.id,
+			Dur: time.Since(genT0), Value: float64(len(fresh)),
+		})
+	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/edgeai/fedml/internal/checkpoint"
+	"github.com/edgeai/fedml/internal/obs"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 	"github.com/edgeai/fedml/internal/transport"
@@ -18,9 +19,18 @@ import (
 type CommStats struct {
 	// Rounds is the number of global aggregations.
 	Rounds int
-	// Messages is the total number of parameter-bearing messages.
+	// Messages is the total number of parameter-bearing messages crossing
+	// the platform's transport boundary. Downlink traffic — round
+	// broadcasts and suspect re-probes — is billed per *attempted* send:
+	// the transport offers no delivery acknowledgment, so a message lost
+	// in flight (e.g. a chaos drop) still consumed the platform's uplink
+	// and is counted. Uplink updates are billed per *delivered* message
+	// only, including updates the sanitation guard later rejects; an
+	// update lost in flight is observable only as a gather timeout and is
+	// never counted.
 	Messages int
-	// Bytes is the payload volume, counting 8 bytes per parameter.
+	// Bytes is the payload volume of the messages counted above, at
+	// 8 bytes per parameter.
 	Bytes int64
 	// Dropped counts nodes removed by fault-tolerant rounds. A node can be
 	// dropped, rejoin, and be dropped again; each removal counts.
@@ -112,6 +122,38 @@ type platformRun struct {
 	boundBy  map[int]int
 
 	stats CommStats
+	// obs, when non-nil, mirrors every stats mutation as a structured
+	// event (counter/event parity: the billing helpers below are the only
+	// places either side changes). prevTheta is the pre-aggregation θ
+	// snapshot used to report the update norm; it is only allocated when
+	// an observer is attached, keeping the nil path allocation-free.
+	obs       obs.RoundObserver
+	prevTheta tensor.Vec
+}
+
+// billDown accounts one downlink (platform→node) parameter message, billed
+// on the attempted send — the transport cannot tell delivered from lost
+// (see CommStats.Messages).
+func (p *platformRun) billDown(node, round int, probe bool) {
+	nBytes := int64(8 * len(p.theta))
+	p.stats.Messages++
+	p.stats.Bytes += nBytes
+	if p.obs != nil {
+		t := obs.TypeBroadcast
+		if probe {
+			t = obs.TypeProbe
+		}
+		p.obs.Observe(obs.Event{Type: t, Round: round, Node: node, Bytes: nBytes})
+	}
+}
+
+// billUp accounts one delivered uplink (node→platform) update message.
+func (p *platformRun) billUp(node, round int, nBytes int64) {
+	p.stats.Messages++
+	p.stats.Bytes += nBytes
+	if p.obs != nil {
+		p.obs.Observe(obs.Event{Type: obs.TypeUpdate, Round: round, Node: node, Bytes: nBytes})
+	}
 }
 
 // markSuspect removes node i from the active set. In fault-tolerant mode the
@@ -123,6 +165,9 @@ func (p *platformRun) markSuspect(i, round int, cause error) {
 	p.alive[i] = false
 	p.aliveCnt--
 	p.stats.Dropped++
+	if p.obs != nil {
+		p.obs.Observe(obs.Event{Type: obs.TypeDrop, Round: round, Node: i, Alive: p.aliveCnt, Cause: cause.Error()})
+	}
 	p.logf("core: dropped node %d in round %d (%d alive): %v", i, round, p.aliveCnt, cause)
 }
 
@@ -131,6 +176,9 @@ func (p *platformRun) rejoin(i, round int) {
 	p.alive[i] = true
 	p.aliveCnt++
 	p.stats.Rejoined++
+	if p.obs != nil {
+		p.obs.Observe(obs.Event{Type: obs.TypeRejoin, Round: round, Node: i, Alive: p.aliveCnt})
+	}
 	p.logf("core: node %d rejoined in round %d (%d alive)", i, round, p.aliveCnt)
 }
 
@@ -309,10 +357,14 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		aliveCnt: len(links),
 		expectID: make([]int, len(links)),
 		boundBy:  make(map[int]int, len(links)),
+		obs:      c.Observer,
 	}
 	for i := range p.alive {
 		p.alive[i] = true
 		p.expectID[i] = -1
+	}
+	if p.obs != nil {
+		p.prevTheta = make(tensor.Vec, len(p.theta))
 	}
 
 	selector := newParticipationSelector(c, len(links))
@@ -363,6 +415,11 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		if remaining := c.T - iter; t0 > remaining {
 			t0 = remaining
 		}
+		var roundT0 time.Time
+		if p.obs != nil {
+			roundT0 = time.Now()
+			p.obs.Observe(obs.Event{Type: obs.TypeRoundStart, Round: round, Iter: iter, T0: t0, Alive: p.aliveCnt})
+		}
 
 		selected := make([]int, 0, len(links))
 		for _, i := range selector.pick() {
@@ -400,8 +457,7 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 				return nil, p.stats, fmt.Errorf("core: broadcast round %d to node %d: %w", round, i, err)
 			}
 			roundNodes = append(roundNodes, i)
-			p.stats.Messages++
-			p.stats.Bytes += int64(8 * len(p.theta))
+			p.billDown(i, round, false)
 		}
 
 		// Re-probe suspects with the current θ: a dropped node that has
@@ -422,8 +478,7 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 					continue
 				}
 				probeNodes = append(probeNodes, i)
-				p.stats.Messages++
-				p.stats.Bytes += int64(8 * len(p.theta))
+				p.billDown(i, round, true)
 			}
 		}
 
@@ -434,10 +489,12 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		accept := func(i int, msg transport.Msg) {
 			// The message crossed the wire either way; account for it even
 			// when the sanitation guard discards the payload.
-			p.stats.Messages++
-			p.stats.Bytes += int64(8 * len(msg.Params))
+			p.billUp(i, round, int64(8*len(msg.Params)))
 			if err := p.sanitize(tensor.Vec(msg.Params), thetaNorm); err != nil {
 				p.stats.Rejected++
+				if p.obs != nil {
+					p.obs.Observe(obs.Event{Type: obs.TypeReject, Round: round, Node: i, Cause: err.Error()})
+				}
 				logf("core: rejected update from node %d in round %d: %v", i, round, err)
 				return
 			}
@@ -479,6 +536,9 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 			if ft {
 				p.stats.SkippedRounds++
 				consecSkipped++
+				if p.obs != nil {
+					p.obs.Observe(obs.Event{Type: obs.TypeRoundSkip, Round: round, Iter: iter, T0: t0, Alive: p.aliveCnt, Dur: time.Since(roundT0)})
+				}
 				logf("core: round %d produced no usable updates (%d alive); skipping aggregation", round, p.aliveCnt)
 				if consecSkipped > maxConsecutiveSkips {
 					return nil, p.stats, fmt.Errorf("core: %d consecutive rounds without usable updates (%d nodes alive)", consecSkipped, p.aliveCnt)
@@ -492,6 +552,9 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		// Aggregate into the reused θ buffer (Eq. 5). The updates were
 		// received from the nodes, which relinquished ownership on Send,
 		// so none of them aliases theta.
+		if p.obs != nil {
+			p.prevTheta.CopyFrom(p.theta)
+		}
 		tensor.WeightedSumInto(p.theta, selWeights, updates)
 		p.theta.ScaleInPlace(1 / selSum)
 		// Measure the update dispersion around the new aggregate — the
@@ -502,6 +565,13 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		}
 		iter += t0
 		p.stats.Rounds++
+		if p.obs != nil {
+			p.obs.Observe(obs.Event{
+				Type: obs.TypeRoundEnd, Round: round, Iter: iter, T0: t0,
+				Alive: p.aliveCnt, Dur: time.Since(roundT0),
+				Value: p.theta.Dist(p.prevTheta), Dispersion: dispersion,
+			})
+		}
 		if c.OnRound != nil {
 			c.OnRound(round, iter, p.theta)
 		}

@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/edgeai/fedml/internal/obs"
+)
+
+func trajRecords() []obs.RoundRecord {
+	l1, l3 := 2.0, 1.5
+	return []obs.RoundRecord{
+		{Round: 1, Iter: 5, Loss: &l1, Dispersion: 0.4},
+		{Round: 2, Iter: 10, Dispersion: 0.3}, // loss not sampled this round
+		{Round: 3, Iter: 12, Skipped: true},   // fault-tolerant skip
+		{Round: 4, Iter: 17, Loss: &l3, Dispersion: 0.2},
+	}
+}
+
+func TestMetaLossTrajectory(t *testing.T) {
+	s := MetaLossTrajectory("fedml", trajRecords())
+	if s.Name != "fedml" {
+		t.Errorf("name = %q", s.Name)
+	}
+	want := []Point{{Iter: 5, Value: 2.0}, {Iter: 17, Value: 1.5}}
+	if len(s.Points) != len(want) {
+		t.Fatalf("points = %+v, want %+v", s.Points, want)
+	}
+	for i, p := range want {
+		if s.Points[i] != p {
+			t.Errorf("point %d = %+v, want %+v", i, s.Points[i], p)
+		}
+	}
+}
+
+func TestDispersionTrajectory(t *testing.T) {
+	s := DispersionTrajectory("disp", trajRecords())
+	want := []Point{{Iter: 5, Value: 0.4}, {Iter: 10, Value: 0.3}, {Iter: 17, Value: 0.2}}
+	if len(s.Points) != len(want) {
+		t.Fatalf("points = %+v, want %+v", s.Points, want)
+	}
+	for i, p := range want {
+		if s.Points[i] != p {
+			t.Errorf("point %d = %+v, want %+v", i, s.Points[i], p)
+		}
+	}
+}

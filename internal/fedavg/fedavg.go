@@ -10,8 +10,11 @@ import (
 	"errors"
 	"fmt"
 
+	"time"
+
 	"github.com/edgeai/fedml/internal/data"
 	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/obs"
 	"github.com/edgeai/fedml/internal/par"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
@@ -39,6 +42,11 @@ type Config struct {
 	// a reused buffer, overwritten next round: borrowed for the duration
 	// of the call, Clone to retain.
 	OnRound func(round, iter int, theta tensor.Vec)
+	// Observer, when non-nil, receives round lifecycle events
+	// (obs.TypeRoundStart/TypeRoundEnd with wall-clock duration and update
+	// norm), so baseline runs share the FedML metrics pipeline. Nil adds
+	// no overhead.
+	Observer obs.RoundObserver
 }
 
 // Validate checks the configuration.
@@ -110,7 +118,20 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 	for i := range updates {
 		updates[i] = tensor.NewVec(np)
 	}
+	var prev tensor.Vec // pre-aggregation snapshot for the update norm
+	if cfg.Observer != nil {
+		prev = tensor.NewVec(np)
+	}
 	for round := 1; round <= rounds; round++ {
+		var roundT0 time.Time
+		if cfg.Observer != nil {
+			roundT0 = time.Now()
+			prev.CopyFrom(theta)
+			cfg.Observer.Observe(obs.Event{
+				Type: obs.TypeRoundStart, Round: round, Iter: (round - 1) * cfg.T0,
+				T0: cfg.T0, Alive: len(fed.Sources),
+			})
+		}
 		// Nodes are independent within a round; run them on the pool.
 		// theta is read-only during the fan-out and aggregation order is
 		// fixed by index, so results are bit-identical for every worker
@@ -140,6 +161,13 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 		// safe. OnRound borrows the reused buffer; callers must Clone to
 		// retain it.
 		tensor.WeightedSumInto(theta, weights, updates)
+		if cfg.Observer != nil {
+			cfg.Observer.Observe(obs.Event{
+				Type: obs.TypeRoundEnd, Round: round, Iter: round * cfg.T0,
+				T0: cfg.T0, Alive: len(fed.Sources), Dur: time.Since(roundT0),
+				Value: theta.Dist(prev),
+			})
+		}
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, round*cfg.T0, theta)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/edgeai/fedml/internal/data"
 	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/obs"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 )
@@ -231,5 +232,33 @@ func TestTrainWorkerCountInvariance(t *testing.T) {
 				t.Fatalf("workers=%d: theta[%d] = %v, want %v (bit-identical)", workers, i, res.Theta[i], ref.Theta[i])
 			}
 		}
+	}
+}
+
+func TestTrainObserverRoundEvents(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses, L2: 0.01}
+	rec := obs.NewRecorder()
+	cfg := Config{Eta: 0.05, T: 20, T0: 5, Seed: 1, Observer: rec}
+	if _, err := Train(m, fed, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rounds := rec.Rounds()
+	if len(rounds) != 4 {
+		t.Fatalf("got %d round records, want 4", len(rounds))
+	}
+	for k, r := range rounds {
+		if r.Round != k+1 || r.Iter != (k+1)*cfg.T0 || r.T0 != cfg.T0 {
+			t.Errorf("record %d has wrong shape: %+v", k, r)
+		}
+		if r.Alive != len(fed.Sources) {
+			t.Errorf("record %d alive = %d, want %d", k, r.Alive, len(fed.Sources))
+		}
+		if r.UpdateNorm <= 0 {
+			t.Errorf("record %d update norm %v not positive", k, r.UpdateNorm)
+		}
+	}
+	if got := rec.Count(obs.TypeRoundStart); got != 4 {
+		t.Errorf("round_start events = %d, want 4", got)
 	}
 }

@@ -1,0 +1,45 @@
+package obs
+
+import "expvar"
+
+// ExpvarSink mirrors the CommStats counters into an expvar.Map, so a live
+// training process serves them at /debug/vars next to net/http/pprof (the
+// cmd/fedml -pprof endpoint). Map keys: rounds, messages, bytes, dropped,
+// rejoined, rejected, skipped_rounds.
+type ExpvarSink struct {
+	m *expvar.Map
+}
+
+var _ RoundObserver = (*ExpvarSink)(nil)
+
+// NewExpvarSink publishes (or reuses and resets) the named expvar map.
+// Reuse matters because expvar panics on duplicate registration and tests
+// and long-lived processes may build more than one sink per name.
+func NewExpvarSink(name string) *ExpvarSink {
+	if v := expvar.Get(name); v != nil {
+		if m, ok := v.(*expvar.Map); ok {
+			m.Init()
+			return &ExpvarSink{m: m}
+		}
+	}
+	return &ExpvarSink{m: expvar.NewMap(name)}
+}
+
+// Observe implements RoundObserver. expvar.Map is internally synchronized.
+func (s *ExpvarSink) Observe(e Event) {
+	switch e.Type {
+	case TypeRoundEnd:
+		s.m.Add("rounds", 1)
+	case TypeRoundSkip:
+		s.m.Add("skipped_rounds", 1)
+	case TypeBroadcast, TypeProbe, TypeUpdate:
+		s.m.Add("messages", 1)
+		s.m.Add("bytes", e.Bytes)
+	case TypeDrop:
+		s.m.Add("dropped", 1)
+	case TypeRejoin:
+		s.m.Add("rejoined", 1)
+	case TypeReject:
+		s.m.Add("rejected", 1)
+	}
+}

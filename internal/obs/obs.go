@@ -1,0 +1,212 @@
+// Package obs is the round-level observability layer of the training stack:
+// a structured-event stream emitted by the federated platform loop, the
+// node-side local-update loop, and the baseline trainers, consumed by
+// pluggable RoundObserver implementations.
+//
+// The package ships three observers: JSONLSink (one schema-versioned JSON
+// record per round, for offline analysis), Recorder (in-memory, for tests
+// and for eval to rebuild per-round trajectories without re-running
+// evaluation), and ExpvarSink (live counters mirroring core.CommStats under
+// /debug/vars next to net/http/pprof).
+//
+// The contract every emitter honors: a nil observer costs one pointer
+// comparison and zero allocations on the hot round loop (see Emit and the
+// AllocsPerRun regression test), and counter/event parity — every traffic or
+// fault counter increment in core.CommStats is paired with exactly one
+// event, so a trace reconstructs the final stats exactly (Totals).
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Type discriminates events.
+type Type uint8
+
+const (
+	// TypeRoundStart opens a platform round: Round, Iter (completed local
+	// iterations so far), T0 (local steps requested this round), Alive.
+	TypeRoundStart Type = iota + 1
+	// TypeRoundEnd closes an aggregated round: Iter (cumulative), Dur
+	// (wall-clock), Value (‖θ_new − θ_old‖, the aggregated update norm) and
+	// Dispersion (weighted mean distance of node updates from the
+	// aggregate). One TypeRoundEnd per core.CommStats.Rounds increment.
+	TypeRoundEnd
+	// TypeRoundSkip closes a fault-tolerant round that produced no usable
+	// update and aggregated nothing. One per CommStats.SkippedRounds.
+	TypeRoundSkip
+	// TypeBroadcast is one platform→node parameter message handed to the
+	// transport (attempted-send semantics; Bytes is the payload size). One
+	// per CommStats.Messages increment at the broadcast site.
+	TypeBroadcast
+	// TypeProbe is one re-probe θ message attempted to a suspect (dropped)
+	// node. One per CommStats.Messages increment at the probe site.
+	TypeProbe
+	// TypeUpdate is one node→platform update actually delivered (it may
+	// still be rejected by sanitation — delivery and acceptance are separate
+	// events). One per CommStats.Messages increment at the gather site.
+	TypeUpdate
+	// TypeDrop records node Node leaving the active set (Cause explains).
+	// One per CommStats.Dropped.
+	TypeDrop
+	// TypeRejoin records a suspect node re-admitted after answering a
+	// re-probe. One per CommStats.Rejoined.
+	TypeRejoin
+	// TypeReject records a delivered update discarded by the sanitation
+	// guard (Cause explains). One per CommStats.Rejected.
+	TypeReject
+	// TypeNodeCompute reports one node's local-update timing for a round:
+	// Node, Dur, T0 (steps performed), Iter (the node's cumulative local
+	// iteration count). Emitted from the node goroutine.
+	TypeNodeCompute
+	// TypeAdvRegen reports one adversarial-data regeneration (Algorithm 2
+	// lines 15–22): Node, Dur, Value (samples generated). Emitted from the
+	// node goroutine.
+	TypeAdvRegen
+	// TypeMetaLoss attaches an externally measured meta-objective G(θ) to a
+	// round (Value). Emitted by callers (e.g. cmd/fedml's round tracker),
+	// not by the core loop, which never evaluates the objective itself.
+	TypeMetaLoss
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeRoundStart:
+		return "round_start"
+	case TypeRoundEnd:
+		return "round_end"
+	case TypeRoundSkip:
+		return "round_skip"
+	case TypeBroadcast:
+		return "broadcast"
+	case TypeProbe:
+		return "probe"
+	case TypeUpdate:
+		return "update"
+	case TypeDrop:
+		return "drop"
+	case TypeRejoin:
+		return "rejoin"
+	case TypeReject:
+		return "reject"
+	case TypeNodeCompute:
+		return "node_compute"
+	case TypeAdvRegen:
+		return "adv_regen"
+	case TypeMetaLoss:
+		return "meta_loss"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Event is one structured observation. It is a plain value — constructing
+// one never allocates — and unused fields are zero.
+type Event struct {
+	Type Type
+	// Round is the 1-based protocol round the event belongs to.
+	Round int
+	// Iter is the cumulative local-iteration count, where known.
+	Iter int
+	// Node is the node index for node-scoped events, 0 otherwise.
+	Node int
+	// T0 is the local step count of the round, where known.
+	T0 int
+	// Alive is the active-node count at emission time, where known.
+	Alive int
+	// Bytes is the payload volume of traffic events (8 bytes per parameter).
+	Bytes int64
+	// Dur is the wall-clock duration of timed events.
+	Dur time.Duration
+	// Value is the metric payload: update norm (TypeRoundEnd), measured
+	// meta-loss (TypeMetaLoss), samples generated (TypeAdvRegen).
+	Value float64
+	// Dispersion is the update dispersion of an aggregated round.
+	Dispersion float64
+	// Cause explains drops and rejections.
+	Cause string
+}
+
+// RoundObserver receives the event stream. Implementations must be safe for
+// concurrent use: the platform loop and the node goroutines emit from
+// different goroutines.
+type RoundObserver interface {
+	Observe(Event)
+}
+
+// Emit forwards e to o when o is non-nil. Call sites on hot loops construct
+// the Event inline; with a nil observer the whole expression is a struct
+// fill on the stack plus one comparison — zero allocations (enforced by an
+// AllocsPerRun test).
+func Emit(o RoundObserver, e Event) {
+	if o != nil {
+		o.Observe(e)
+	}
+}
+
+// Tracer multiplexes one event stream to several observers in order.
+type Tracer struct {
+	obs []RoundObserver
+}
+
+// Observe implements RoundObserver.
+func (t *Tracer) Observe(e Event) {
+	for _, o := range t.obs {
+		o.Observe(e)
+	}
+}
+
+// Multi composes observers into one. Nils are skipped; the result is nil
+// when none remain and the single observer itself when only one does, so
+// the zero-overhead nil fast path and direct dispatch are both preserved.
+func Multi(observers ...RoundObserver) RoundObserver {
+	var list []RoundObserver
+	for _, o := range observers {
+		if o != nil {
+			list = append(list, o)
+		}
+	}
+	switch len(list) {
+	case 0:
+		return nil
+	case 1:
+		return list[0]
+	default:
+		return &Tracer{obs: list}
+	}
+}
+
+// Totals is the event-side mirror of core.CommStats: folding a trace's
+// events reproduces the run's final counters exactly (the counter/event
+// parity invariant). It lives here rather than reusing core.CommStats so
+// obs stays dependency-free.
+type Totals struct {
+	Rounds        int   `json:"rounds"`
+	Messages      int   `json:"messages"`
+	Bytes         int64 `json:"bytes"`
+	Dropped       int   `json:"dropped"`
+	Rejoined      int   `json:"rejoined"`
+	Rejected      int   `json:"rejected"`
+	SkippedRounds int   `json:"skipped_rounds"`
+}
+
+// observe folds one event into the totals.
+func (t *Totals) observe(e Event) {
+	switch e.Type {
+	case TypeRoundEnd:
+		t.Rounds++
+	case TypeRoundSkip:
+		t.SkippedRounds++
+	case TypeBroadcast, TypeProbe, TypeUpdate:
+		t.Messages++
+		t.Bytes += e.Bytes
+	case TypeDrop:
+		t.Dropped++
+	case TypeRejoin:
+		t.Rejoined++
+	case TypeReject:
+		t.Rejected++
+	}
+}

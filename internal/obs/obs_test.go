@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"expvar"
+	"testing"
+	"time"
+)
+
+func TestTypeString(t *testing.T) {
+	types := []Type{
+		TypeRoundStart, TypeRoundEnd, TypeRoundSkip, TypeBroadcast, TypeProbe,
+		TypeUpdate, TypeDrop, TypeRejoin, TypeReject, TypeNodeCompute,
+		TypeAdvRegen, TypeMetaLoss,
+	}
+	seen := map[string]bool{}
+	for _, typ := range types {
+		s := typ.String()
+		if s == "" || seen[s] {
+			t.Errorf("type %d has empty or duplicate name %q", typ, s)
+		}
+		seen[s] = true
+	}
+	if s := Type(99).String(); s != "Type(99)" {
+		t.Errorf("unknown type renders as %q", s)
+	}
+}
+
+func TestMultiComposition(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() of nothing must be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils must be nil (zero-overhead fast path)")
+	}
+	r := NewRecorder()
+	if got := Multi(nil, r, nil); got != RoundObserver(r) {
+		t.Error("Multi with one live observer must return it directly")
+	}
+	r2 := NewRecorder()
+	m := Multi(r, r2)
+	m.Observe(Event{Type: TypeDrop, Round: 1, Node: 3})
+	if r.Count(TypeDrop) != 1 || r2.Count(TypeDrop) != 1 {
+		t.Error("Tracer did not fan out to both observers")
+	}
+}
+
+// TestNilObserverHotLoopZeroAlloc is the overhead guarantee: the emission
+// pattern every hot call site uses (inline Event literal through Emit) must
+// not allocate when the observer is nil — so an uninstrumented run pays
+// nothing for the observability layer.
+func TestNilObserverHotLoopZeroAlloc(t *testing.T) {
+	var o RoundObserver
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 8; i++ {
+			Emit(o, Event{Type: TypeBroadcast, Round: 3, Node: i, Bytes: 512})
+			Emit(o, Event{Type: TypeUpdate, Round: 3, Node: i, Bytes: 512})
+		}
+		Emit(o, Event{Type: TypeRoundEnd, Round: 3, Iter: 15, T0: 5, Alive: 8,
+			Dur: time.Millisecond, Value: 0.5, Dispersion: 0.1})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil observer emission allocated %.1f allocs/run, want 0", allocs)
+	}
+}
+
+func TestRecorderTotalsParity(t *testing.T) {
+	r := NewRecorder()
+	events := []Event{
+		{Type: TypeRoundStart, Round: 1, T0: 5, Alive: 3},
+		{Type: TypeBroadcast, Round: 1, Node: 0, Bytes: 80},
+		{Type: TypeBroadcast, Round: 1, Node: 1, Bytes: 80},
+		{Type: TypeUpdate, Round: 1, Node: 0, Bytes: 80},
+		{Type: TypeReject, Round: 1, Node: 1, Cause: "NaN"},
+		{Type: TypeDrop, Round: 1, Node: 2, Cause: "timeout"},
+		{Type: TypeRoundEnd, Round: 1, Iter: 5, T0: 5, Alive: 2},
+		{Type: TypeRoundStart, Round: 2, T0: 5, Alive: 2},
+		{Type: TypeProbe, Round: 2, Node: 2, Bytes: 80},
+		{Type: TypeRejoin, Round: 2, Node: 2},
+		{Type: TypeRoundSkip, Round: 2, Alive: 3},
+	}
+	for _, e := range events {
+		r.Observe(e)
+	}
+	got := r.Totals()
+	want := Totals{Rounds: 1, Messages: 4, Bytes: 320, Dropped: 1, Rejoined: 1, Rejected: 1, SkippedRounds: 1}
+	if got != want {
+		t.Errorf("Totals = %+v, want %+v", got, want)
+	}
+	if n := len(r.Events()); n != len(events) {
+		t.Errorf("recorded %d events, want %d", n, len(events))
+	}
+}
+
+func TestRecorderRoundsIncludePending(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(Event{Type: TypeRoundStart, Round: 1, T0: 5, Alive: 2})
+	r.Observe(Event{Type: TypeRoundEnd, Round: 1, Iter: 5, T0: 5, Alive: 2})
+	// No later event arrived: round 1 is still pending in the builder but
+	// must be visible.
+	rounds := r.Rounds()
+	if len(rounds) != 1 || rounds[0].Round != 1 {
+		t.Fatalf("pending round invisible: %+v", rounds)
+	}
+	r.Observe(Event{Type: TypeRoundStart, Round: 2, T0: 5, Alive: 2})
+	rounds = r.Rounds()
+	if len(rounds) != 2 || rounds[0].Round != 1 || rounds[1].Round != 2 {
+		t.Fatalf("rounds after flush: %+v", rounds)
+	}
+}
+
+func TestBuilderFoldsTrailingMetaLoss(t *testing.T) {
+	// The platform emits RoundEnd before the OnRound callback runs, so a
+	// caller-measured meta-loss for round r arrives after round r's end but
+	// before round r+1 opens. It must land in round r's record.
+	r := NewRecorder()
+	r.Observe(Event{Type: TypeRoundStart, Round: 1, T0: 5, Alive: 2})
+	r.Observe(Event{Type: TypeRoundEnd, Round: 1, Iter: 5, T0: 5, Alive: 2})
+	r.Observe(Event{Type: TypeMetaLoss, Round: 1, Iter: 5, Value: 1.25})
+	r.Observe(Event{Type: TypeRoundStart, Round: 2, T0: 5, Alive: 2})
+	rounds := r.Rounds()
+	if rounds[0].Loss == nil || *rounds[0].Loss != 1.25 {
+		t.Fatalf("meta-loss not folded into round 1: %+v", rounds[0])
+	}
+	if rounds[1].Loss != nil {
+		t.Errorf("round 2 inherited round 1's loss")
+	}
+}
+
+func TestBuilderLateEventKeepsBooks(t *testing.T) {
+	// A node-compute report for an already-flushed round (async stragglers)
+	// must not corrupt the current record, but traffic-bearing late events
+	// still count toward the cumulative totals.
+	r := NewRecorder()
+	r.Observe(Event{Type: TypeRoundStart, Round: 1, T0: 5, Alive: 2})
+	r.Observe(Event{Type: TypeRoundEnd, Round: 1, Iter: 5, T0: 5, Alive: 2})
+	r.Observe(Event{Type: TypeRoundStart, Round: 3, T0: 5, Alive: 2})
+	r.Observe(Event{Type: TypeNodeCompute, Round: 1, Node: 0, Dur: time.Millisecond})
+	r.Observe(Event{Type: TypeUpdate, Round: 1, Node: 0, Bytes: 80})
+	rounds := r.Rounds()
+	if len(rounds) != 2 {
+		t.Fatalf("rounds = %+v", rounds)
+	}
+	if cur := rounds[1]; cur.Round != 3 || len(cur.Nodes) != 0 || cur.Msgs != 0 {
+		t.Errorf("late events leaked into round 3's record: %+v", cur)
+	}
+	if tot := r.Totals(); tot.Messages != 1 || tot.Bytes != 80 {
+		t.Errorf("late traffic lost from totals: %+v", tot)
+	}
+}
+
+func TestExpvarSinkMirrorsCounters(t *testing.T) {
+	s := NewExpvarSink("test.obs.comm")
+	for _, e := range []Event{
+		{Type: TypeBroadcast, Round: 1, Bytes: 100},
+		{Type: TypeUpdate, Round: 1, Bytes: 50},
+		{Type: TypeDrop, Round: 1, Node: 1},
+		{Type: TypeRejoin, Round: 2, Node: 1},
+		{Type: TypeReject, Round: 2, Node: 0},
+		{Type: TypeRoundEnd, Round: 2},
+		{Type: TypeRoundSkip, Round: 3},
+	} {
+		s.Observe(e)
+	}
+	m, ok := expvar.Get("test.obs.comm").(*expvar.Map)
+	if !ok {
+		t.Fatal("expvar map not published")
+	}
+	for key, want := range map[string]string{
+		"messages": "2", "bytes": "150", "dropped": "1", "rejoined": "1",
+		"rejected": "1", "rounds": "1", "skipped_rounds": "1",
+	} {
+		v := m.Get(key)
+		if v == nil || v.String() != want {
+			t.Errorf("expvar %s = %v, want %s", key, v, want)
+		}
+	}
+	// Rebuilding the sink under the same name must reset, not panic.
+	s2 := NewExpvarSink("test.obs.comm")
+	s2.Observe(Event{Type: TypeRoundEnd, Round: 1})
+	if v := m.Get("rounds"); v.String() != "1" {
+		t.Errorf("reused map not reset: rounds = %v", v)
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import "sync"
+
+// Recorder is the in-memory observer: it keeps the raw event stream and the
+// folded per-round records, so tests can assert counter/event parity and
+// eval can rebuild per-round trajectories without re-running evaluation.
+// Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	b      builder
+	rounds []RoundRecord
+	events []Event
+}
+
+var _ RoundObserver = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Observe implements RoundObserver.
+func (r *Recorder) Observe(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+	if done := r.b.observe(e); done != nil {
+		r.rounds = append(r.rounds, *done)
+	}
+}
+
+// Events returns a copy of every event observed so far, in arrival order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Rounds returns a copy of the folded round records, including the round
+// still open (a training run never emits an event after its last round, so
+// the trailing record would otherwise be invisible).
+func (r *Recorder) Rounds() []RoundRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]RoundRecord(nil), r.rounds...)
+	if r.b.cur != nil {
+		out = append(out, *r.b.cur)
+	}
+	return out
+}
+
+// Totals folds the recorded events into cumulative counters — the
+// reconstruction that must equal the run's final core.CommStats exactly
+// (counter/event parity).
+func (r *Recorder) Totals() Totals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.b.cum
+}
+
+// Count returns how many events of the given type were observed.
+func (r *Recorder) Count(t Type) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Type == t {
+			n++
+		}
+	}
+	return n
+}

@@ -18,8 +18,11 @@ import (
 	"errors"
 	"fmt"
 
+	"time"
+
 	"github.com/edgeai/fedml/internal/data"
 	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/obs"
 	"github.com/edgeai/fedml/internal/par"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
@@ -44,6 +47,11 @@ type Config struct {
 	// reused buffer, overwritten next round: borrowed for the duration of
 	// the call, Clone to retain.
 	OnRound func(round int, theta tensor.Vec)
+	// Observer, when non-nil, receives round lifecycle events
+	// (obs.TypeRoundStart/TypeRoundEnd with wall-clock duration and update
+	// norm), so baseline runs share the FedML metrics pipeline. Nil adds
+	// no overhead.
+	Observer obs.RoundObserver
 }
 
 // Validate checks the configuration.
@@ -107,7 +115,20 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 		adapted[i] = tensor.NewVec(np)
 	}
 	avg := tensor.NewVec(np)
+	var prev tensor.Vec // pre-interpolation snapshot for the update norm
+	if cfg.Observer != nil {
+		prev = tensor.NewVec(np)
+	}
 	for round := 1; round <= cfg.Rounds; round++ {
+		var roundT0 time.Time
+		if cfg.Observer != nil {
+			roundT0 = time.Now()
+			prev.CopyFrom(theta)
+			cfg.Observer.Observe(obs.Event{
+				Type: obs.TypeRoundStart, Round: round, Iter: (round - 1) * cfg.InnerSteps,
+				T0: cfg.InnerSteps, Alive: len(fed.Sources),
+			})
+		}
 		// Inner runs are independent; run them on the pool and keep the
 		// aggregation order fixed by index for determinism.
 		err := par.ForEachWorkerErr(cfg.Workers, len(fed.Sources), func(w, i int) error {
@@ -130,6 +151,13 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 		// θ ← (1−ε)θ + ε·avg.
 		theta.ScaleInPlace(1 - cfg.MetaLR)
 		theta.Axpy(cfg.MetaLR, avg)
+		if cfg.Observer != nil {
+			cfg.Observer.Observe(obs.Event{
+				Type: obs.TypeRoundEnd, Round: round, Iter: round * cfg.InnerSteps,
+				T0: cfg.InnerSteps, Alive: len(fed.Sources), Dur: time.Since(roundT0),
+				Value: theta.Dist(prev),
+			})
+		}
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, theta)
 		}

@@ -7,6 +7,7 @@ import (
 	"github.com/edgeai/fedml/internal/data"
 	"github.com/edgeai/fedml/internal/eval"
 	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/obs"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 )
@@ -197,5 +198,29 @@ func TestTrainWorkerCountInvariance(t *testing.T) {
 				t.Fatalf("workers=%d: theta[%d] = %v, want %v (bit-identical)", workers, i, res.Theta[i], ref.Theta[i])
 			}
 		}
+	}
+}
+
+func TestTrainObserverRoundEvents(t *testing.T) {
+	fed, m := tinyFederation(t)
+	rec := obs.NewRecorder()
+	cfg := Config{InnerLR: 0.05, MetaLR: 0.5, InnerSteps: 3, Rounds: 5, Seed: 1, Observer: rec}
+	if _, err := Train(m, fed, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rounds := rec.Rounds()
+	if len(rounds) != cfg.Rounds {
+		t.Fatalf("got %d round records, want %d", len(rounds), cfg.Rounds)
+	}
+	for k, r := range rounds {
+		if r.Round != k+1 || r.Iter != (k+1)*cfg.InnerSteps {
+			t.Errorf("record %d has wrong shape: %+v", k, r)
+		}
+		if r.UpdateNorm <= 0 {
+			t.Errorf("record %d update norm %v not positive", k, r.UpdateNorm)
+		}
+	}
+	if got := rec.Count(obs.TypeRoundEnd); got != cfg.Rounds {
+		t.Errorf("round_end events = %d, want %d", got, cfg.Rounds)
 	}
 }
