@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short check chaos-smoke obs-smoke profile bench bench-json bench-paper bench-par fuzz examples clean
+.PHONY: all build vet test test-race test-short check chaos-smoke obs-smoke codec-smoke profile bench bench-json bench-check bench-paper bench-par fuzz fuzz-smoke examples clean
+
+# Scratch directory for generated artifacts (metrics sinks, bench output,
+# profiles); removed by `make clean`, never committed.
+BUILD_DIR := build
 
 all: build vet test
 
@@ -39,13 +43,27 @@ chaos-smoke:
 
 # Observability smoke: a chaos run writes per-round metrics JSONL, then
 # cmd/obscheck verifies the schema, monotonicity, and that the per-round
-# traffic deltas reconstruct the final totals exactly.
+# traffic deltas reconstruct the final totals exactly. Artifacts land in
+# $(BUILD_DIR), never the repo root.
 obs-smoke:
+	@mkdir -p $(BUILD_DIR)
 	$(GO) run ./cmd/fedml train -dataset synthetic -nodes 6 -k 3 -t 30 -t0 5 \
 		-seed 7 -round-timeout 500ms -guard 25 \
 		-chaos "1:kill@2,1:revive@4,2:corrupt@3" -chaos-seed 11 \
-		-metrics-out obs_smoke.jsonl
-	$(GO) run ./cmd/obscheck obs_smoke.jsonl
+		-metrics-out $(BUILD_DIR)/obs_smoke.jsonl
+	$(GO) run ./cmd/obscheck $(BUILD_DIR)/obs_smoke.jsonl
+
+# Compressed-transport smoke: the same chaos scenario with topk+delta update
+# compression. obscheck proves the metrics stream still folds to the final
+# totals exactly when the billed bytes are the compressed ones and the delta
+# chain is broken and resynced mid-run.
+codec-smoke:
+	@mkdir -p $(BUILD_DIR)
+	$(GO) run ./cmd/fedml train -dataset synthetic -nodes 6 -k 3 -t 30 -t0 5 \
+		-seed 7 -codec topk -round-timeout 500ms -guard 25 \
+		-chaos "1:kill@2,1:revive@4,2:corrupt@3" -chaos-seed 11 \
+		-metrics-out $(BUILD_DIR)/codec_smoke.jsonl
+	$(GO) run ./cmd/obscheck $(BUILD_DIR)/codec_smoke.jsonl
 
 # CPU + heap profiles of the hot end-to-end benchmark (fig2a). Inspect with
 # `go tool pprof cpu.pprof`; live runs expose the same data via -pprof.
@@ -61,9 +79,20 @@ bench:
 # benchmarks rendered to BENCH_fedml.json (name -> ns/op, B/op, allocs/op)
 # by cmd/benchjson, so performance regressions show up as diffs.
 bench-json:
+	@mkdir -p $(BUILD_DIR)
 	$(GO) test -run '^$$' \
 		-bench 'Fig2aNodeSimilarity|MetaStep|FastAdaptation|GradInto' \
-		-benchmem . | tee bench_output.txt | $(GO) run ./cmd/benchjson -out BENCH_fedml.json
+		-benchmem . | tee $(BUILD_DIR)/bench_output.txt | $(GO) run ./cmd/benchjson -out BENCH_fedml.json
+
+# CI regression gate: re-measure the bench-json suite into $(BUILD_DIR) and
+# fail when allocs/op or B/op grew more than 10% over the committed
+# BENCH_fedml.json (ns/op is reported, not gated — CI wall time is noise).
+bench-check:
+	@mkdir -p $(BUILD_DIR)
+	$(GO) test -run '^$$' \
+		-bench 'Fig2aNodeSimilarity|MetaStep|FastAdaptation|GradInto' \
+		-benchmem . | tee $(BUILD_DIR)/bench_output.txt | $(GO) run ./cmd/benchjson -out $(BUILD_DIR)/bench_current.json
+	$(GO) run ./cmd/benchjson compare BENCH_fedml.json $(BUILD_DIR)/bench_current.json
 
 # Regenerate every table and figure at the paper's scale.
 bench-paper:
@@ -75,9 +104,16 @@ bench-paper:
 bench-par:
 	$(GO) run ./cmd/fedml-bench -par-bench -out BENCH_experiments.json
 
-# Short fuzzing pass over the parsers.
+# Short fuzzing pass over the parsers and the update codecs.
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/checkpoint
+	$(GO) test -fuzz FuzzCodecRoundTrip -fuzztime 30s ./internal/codec
+
+# Seconds-long fuzz smoke for CI: enough to replay the corpus and catch
+# shallow regressions without holding up the pipeline.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzRead -fuzztime 5s ./internal/checkpoint
+	$(GO) test -fuzz FuzzCodecRoundTrip -fuzztime 5s ./internal/codec
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -89,3 +125,4 @@ examples:
 clean:
 	$(GO) clean ./...
 	rm -f fedml fedml-bench test_output.txt bench_output.txt obs_smoke.jsonl *.pprof
+	rm -rf $(BUILD_DIR)

@@ -74,3 +74,77 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 		t.Error("empty input accepted")
 	}
 }
+
+func TestCompareWithinThreshold(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {AllocsPerOp: 100, BytesPerOp: 1000, NsPerOp: 50},
+		"BenchmarkZ": {AllocsPerOp: 0, BytesPerOp: 0, NsPerOp: 10},
+	}
+	cur := map[string]Result{
+		"BenchmarkA": {AllocsPerOp: 109, BytesPerOp: 1099, NsPerOp: 500}, // +9%, ns/op ignored
+		"BenchmarkZ": {AllocsPerOp: 0, BytesPerOp: 0, NsPerOp: 9},
+		"BenchmarkN": {AllocsPerOp: 7}, // new, not gated
+	}
+	var out strings.Builder
+	if err := compare(&out, base, cur, 0.10); err != nil {
+		t.Fatalf("within-threshold run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new  BenchmarkN") {
+		t.Errorf("new benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	base := map[string]Result{"BenchmarkA": {AllocsPerOp: 100, BytesPerOp: 1000}}
+	cur := map[string]Result{"BenchmarkA": {AllocsPerOp: 120, BytesPerOp: 1000}}
+	var out strings.Builder
+	err := compare(&out, base, cur, 0.10)
+	if err == nil {
+		t.Fatal("20% allocs/op growth passed the 10% gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("failure does not name the regressing unit: %v", err)
+	}
+}
+
+func TestCompareFailsOnByteRegression(t *testing.T) {
+	base := map[string]Result{"BenchmarkA": {AllocsPerOp: 10, BytesPerOp: 1000}}
+	cur := map[string]Result{"BenchmarkA": {AllocsPerOp: 10, BytesPerOp: 1200}}
+	if err := compare(&strings.Builder{}, base, cur, 0.10); err == nil {
+		t.Fatal("20% B/op growth passed the 10% gate")
+	}
+}
+
+func TestCompareFailsOnZeroBaselineGrowth(t *testing.T) {
+	// The zero-allocation kernels guard exact zeros: any allocation is a
+	// regression no matter the threshold.
+	base := map[string]Result{"BenchmarkGrad": {AllocsPerOp: 0, BytesPerOp: 0}}
+	cur := map[string]Result{"BenchmarkGrad": {AllocsPerOp: 1, BytesPerOp: 16}}
+	if err := compare(&strings.Builder{}, base, cur, 0.10); err == nil {
+		t.Fatal("allocation on a zero-alloc baseline passed the gate")
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	base := map[string]Result{"BenchmarkA": {AllocsPerOp: 1}, "BenchmarkGone": {AllocsPerOp: 1}}
+	cur := map[string]Result{"BenchmarkA": {AllocsPerOp: 1}}
+	err := compare(&strings.Builder{}, base, cur, 0.10)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
+		t.Fatalf("vanished baseline benchmark not flagged: %v", err)
+	}
+}
+
+func TestCompareRoundTripFiles(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	if err := run(strings.NewReader(sample), basePath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadResults(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compare(&strings.Builder{}, loaded, loaded, 0.10); err != nil {
+		t.Errorf("self-comparison failed: %v", err)
+	}
+}

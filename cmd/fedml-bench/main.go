@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/edgeai/fedml/internal/experiments"
@@ -38,6 +39,7 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "worker count for parallel sections (0 = all cores, 1 = serial)")
 		parBench = fs.Bool("par-bench", false, "benchmark the fig2a grid at workers=1 vs -workers, verify identical output, and report the speedup")
 		out      = fs.String("out", "", "with -par-bench: write the measurements as JSON to this file")
+		codecs   = fs.String("codec", "", "with -exp ext-codec: comma-separated update codecs to compare, first is the baseline (default raw,f16,q8,topk)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +60,22 @@ func run(args []string) error {
 
 	if *parBench {
 		return runParBench(scale, *workers, *out)
+	}
+
+	if *codecs != "" {
+		if *exp != "ext-codec" {
+			return fmt.Errorf("-codec only applies to -exp ext-codec (got -exp %s)", *exp)
+		}
+		cfg := experiments.DefaultExtCodecConfig(scale)
+		cfg.Workers = *workers
+		cfg.Codecs = strings.Split(*codecs, ",")
+		start := time.Now()
+		res, err := experiments.RunExtCodec(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== ext-codec (scale=%s, %.1fs) ===\n%s\n", scale, time.Since(start).Seconds(), res.Render())
+		return nil
 	}
 
 	ids := []string{*exp}

@@ -84,6 +84,7 @@ type commonFlags struct {
 	csvPath string
 	csvDim  int
 	workers int
+	codec   string
 }
 
 func addCommonFlags(fs *flag.FlagSet) *commonFlags {
@@ -101,6 +102,7 @@ func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 	fs.StringVar(&c.csvPath, "csv", "", "with -dataset csv: path to a CSV of feature columns + integer label")
 	fs.IntVar(&c.csvDim, "csv-dim", 0, "with -dataset csv: number of feature columns")
 	fs.IntVar(&c.workers, "workers", 0, "worker count for evaluation fan-out (0 = all cores, 1 = serial); results are identical for every value")
+	fs.StringVar(&c.codec, "codec", "", "update compression codec: raw, f16, q8, or topk[:frac] (empty = raw; nodes mirror the platform's choice)")
 	return c
 }
 
@@ -286,6 +288,7 @@ func printResilience(stats core.CommStats) {
 func (c *commonFlags) trainConfig(track func(round, iter int, theta tensor.Vec)) core.Config {
 	cfg := core.Config{
 		Alpha: c.alpha, Beta: c.beta, T: c.t, T0: c.t0, Seed: c.seed,
+		Codec:   c.codec,
 		OnRound: track,
 	}
 	if c.robust {

@@ -1,0 +1,300 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/edgeai/fedml/internal/rng"
+)
+
+// testVector builds a deterministic parameter vector with the mixed
+// magnitudes a trained model exhibits: mostly small weights, a few large
+// coordinates, exact zeros.
+func testVector(n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	v := make([]float64, n)
+	for i := range v {
+		switch i % 7 {
+		case 0:
+			v[i] = 0
+		case 1:
+			v[i] = 10 * r.Norm()
+		default:
+			v[i] = 0.1 * r.Norm()
+		}
+	}
+	return v
+}
+
+func TestNewAndNames(t *testing.T) {
+	for _, spec := range []string{"raw", "f16", "q8", "topk", "topk:0.05", "topk:1"} {
+		c, err := New(spec)
+		if err != nil {
+			t.Fatalf("New(%q): %v", spec, err)
+		}
+		if c.Name() != spec {
+			t.Errorf("New(%q).Name() = %q, want the spec back", spec, c.Name())
+		}
+		if !Valid(spec) {
+			t.Errorf("Valid(%q) = false", spec)
+		}
+	}
+	for _, spec := range []string{"", "gzip", "topk:0", "topk:1.5", "topk:x", "TOPK"} {
+		if _, err := New(spec); err == nil {
+			t.Errorf("New(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestRawRoundTripExact(t *testing.T) {
+	c, _ := New("raw")
+	in := append(testVector(317, 1), math.NaN(), math.Inf(1), math.Inf(-1), -0.0)
+	payload, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsFull(payload) {
+		t.Error("raw payload not marked full")
+	}
+	out, err := c.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if math.Float64bits(out[i]) != math.Float64bits(in[i]) {
+			t.Fatalf("raw not bit-exact at %d: % x vs % x", i, out[i], in[i])
+		}
+	}
+}
+
+// TestF16ErrorBound pins the f16 contract: |x − x̂| ≤ 2⁻¹⁰·|x| + 2⁻²⁴ for
+// finite |x| ≤ 65504, clamping (not Inf) beyond, and sign preservation.
+func TestF16ErrorBound(t *testing.T) {
+	c, _ := New("f16")
+	in := append(testVector(1001, 2), 65504, -65504, 1e300, -1e300, 0x1p-24, -0x1p-30, 0)
+	payload, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 2*len(in); len(payload) != want {
+		t.Fatalf("payload %d bytes, want %d", len(payload), want)
+	}
+	out, err := c.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range in {
+		xh := out[i]
+		if math.Abs(x) > 65504 {
+			if math.Abs(xh) != 65504 || math.Signbit(xh) != math.Signbit(x) {
+				t.Errorf("overflow %g decoded to %g, want clamp to ±65504", x, xh)
+			}
+			continue
+		}
+		if bound := math.Abs(x)*0x1p-10 + 0x1p-24; math.Abs(x-xh) > bound {
+			t.Errorf("f16 error |%g − %g| = %g exceeds bound %g", x, xh, math.Abs(x-xh), bound)
+		}
+	}
+}
+
+func TestF16NonFinite(t *testing.T) {
+	c, _ := New("f16")
+	payload, err := c.Encode([]float64{math.Inf(1), math.Inf(-1), math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(out[0], 1) || !math.IsInf(out[1], -1) || !math.IsNaN(out[2]) {
+		t.Errorf("non-finite values not preserved: %v", out)
+	}
+}
+
+// TestQ8ErrorBound pins the q8 contract: per chunk with scale s = max|x|,
+// |x − x̂| ≤ s/254 + s·2⁻²³, and all-zero chunks reconstruct exactly.
+func TestQ8ErrorBound(t *testing.T) {
+	c, _ := New("q8")
+	// Three full chunks plus a ragged tail, including an all-zero chunk.
+	in := testVector(3*q8ChunkSize+57, 3)
+	for i := q8ChunkSize; i < 2*q8ChunkSize; i++ {
+		in[i] = 0
+	}
+	payload, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for start := 0; start < len(in); start += q8ChunkSize {
+		end := min(start+q8ChunkSize, len(in))
+		var s float64
+		for _, v := range in[start:end] {
+			if a := math.Abs(v); a > s {
+				s = a
+			}
+		}
+		bound := s/254 + s*0x1p-23
+		for i := start; i < end; i++ {
+			if math.Abs(in[i]-out[i]) > bound {
+				t.Errorf("q8 error |%g − %g| = %g exceeds chunk bound %g", in[i], out[i], math.Abs(in[i]-out[i]), bound)
+			}
+			if s == 0 && out[i] != 0 {
+				t.Errorf("all-zero chunk decoded nonzero %g at %d", out[i], i)
+			}
+		}
+	}
+}
+
+// TestTopKMirrors pins the stateful contract: after every successful
+// Decode, the decoder's output equals the encoder's internal reference bit
+// for bit, across full and delta messages, and the error-feedback residual
+// drives the reconstruction toward the true vector over repeated sends.
+func TestTopKMirrors(t *testing.T) {
+	enc, _ := New("topk:0.2")
+	dec, _ := New("topk:0.2")
+	truth := testVector(500, 4)
+
+	var got []float64
+	for round := 0; round < 12; round++ {
+		payload, err := enc.Encode(truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (round == 0) != IsFull(payload) {
+			t.Fatalf("round %d: IsFull = %v, want full only on the first message", round, IsFull(payload))
+		}
+		got, err = dec.Decode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := enc.(*topKCodec).ref
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("round %d: decoder diverged from encoder ref at %d: %g vs %g", round, i, got[i], ref[i])
+			}
+		}
+	}
+	// Encoding the same target repeatedly, error feedback must converge the
+	// shared reference to the truth (up to float32 delta rounding).
+	for i := range truth {
+		if diff := math.Abs(truth[i] - got[i]); diff > 1e-5*(1+math.Abs(truth[i])) {
+			t.Errorf("error feedback did not converge at %d: residual %g", i, diff)
+		}
+	}
+}
+
+// TestTopKFullDensityBound: at frac = 1 every delta coordinate ships, so a
+// single message reconstructs to within float32 rounding of the delta.
+func TestTopKFullDensityBound(t *testing.T) {
+	enc, _ := New("topk:1")
+	dec, _ := New("topk:1")
+	a := testVector(200, 5)
+	b := testVector(200, 6)
+
+	p1, _ := enc.Encode(a)
+	if _, err := dec.Decode(p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := enc.Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dec.Decode(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		delta := math.Abs(b[i] - a[i])
+		if bound := delta*0x1p-23 + 1e-12; math.Abs(b[i]-out[i]) > bound {
+			t.Errorf("topk:1 error %g at %d exceeds float32 bound %g", math.Abs(b[i]-out[i]), i, bound)
+		}
+	}
+}
+
+func TestTopKDesyncDetected(t *testing.T) {
+	enc, _ := New("topk")
+	dec, _ := New("topk")
+	v := testVector(100, 7)
+
+	p1, _ := enc.Encode(v)
+	if _, err := dec.Decode(p1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Encode(v); err != nil { // lost on the wire
+		t.Fatal(err)
+	}
+	p3, _ := enc.Encode(v)
+	if _, err := dec.Decode(p3); !errors.Is(err, ErrDesync) {
+		t.Errorf("decode after a lost delta: err = %v, want ErrDesync", err)
+	}
+
+	// A delta with no prior full sync is also a desync.
+	fresh, _ := New("topk")
+	if _, err := fresh.Decode(p3); !errors.Is(err, ErrDesync) {
+		t.Errorf("delta before full sync: err = %v, want ErrDesync", err)
+	}
+
+	// Reset on both ends re-establishes the chain with a full payload.
+	enc.Reset()
+	dec.Reset()
+	p4, _ := enc.Encode(v)
+	if !IsFull(p4) {
+		t.Error("first payload after Reset is not full")
+	}
+	if _, err := dec.Decode(p4); err != nil {
+		t.Errorf("decode after mutual reset: %v", err)
+	}
+}
+
+// TestCompressionRatios pins the headline claim on a fig2a-sized vector
+// (610 parameters: 60×10 softmax + bias): q8 and topk steady-state payloads
+// are ≥4× smaller than the 8·n raw wire size, f16 ≈4×.
+func TestCompressionRatios(t *testing.T) {
+	v := testVector(610, 8)
+	rawBytes := float64(8 * len(v))
+
+	for _, tc := range []struct {
+		spec     string
+		minRatio float64
+	}{
+		{"f16", 3.9}, {"q8", 4}, {"topk", 4},
+	} {
+		c, _ := New(tc.spec)
+		payload, err := c.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.spec == "topk" {
+			// Steady state is the delta payload, not the initial full sync.
+			payload, err = c.Encode(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ratio := rawBytes / float64(len(payload)); ratio < tc.minRatio {
+			t.Errorf("%s: %d-byte payload, ratio %.2fx < %.1fx", tc.spec, len(payload), ratio, tc.minRatio)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{"raw", "f16", "q8", "topk"} {
+		c, _ := New(spec)
+		for _, payload := range [][]byte{nil, {}, {0xff}, {ModeFull, 1, 2, 3}, {ModeDelta, 9, 9, 9, 9}} {
+			if out, err := c.Decode(payload); err == nil {
+				t.Errorf("%s: Decode(% x) = %v, want error", spec, payload, out)
+			}
+		}
+	}
+}

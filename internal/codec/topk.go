@@ -1,0 +1,175 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultTopKFraction is the delta density "topk" keeps when no explicit
+// fraction is given: the largest 10% of delta coordinates per message.
+const DefaultTopKFraction = 0.10
+
+// topKCodec ships sparsified deltas against the last synchronized vector.
+// The first message after construction or Reset is a full payload that
+// establishes the shared reference; each following Encode transmits only
+// the k = ⌈frac·n⌉ largest-magnitude coordinates of (params − ref) as
+// (uint32 index, float32 value) pairs — ≈(8·frac)·n bytes instead of 8n,
+// a ~10× reduction at the default density.
+//
+// Both endpoints advance the same reference: the encoder applies exactly
+// the sparsified, float32-rounded delta it transmitted to its own ref, so
+// after every successful Decode the decoder's state is bit-identical to the
+// encoder's (the contract TestTopKMirrors pins). The untransmitted residual
+// therefore stays in the encoder's next delta — error feedback for free —
+// and the reconstruction error of any single message is bounded by the
+// coordinates it dropped: ‖x − x̂‖∞ ≤ max untransmitted |Δᵢ| + 2⁻²⁴ per
+// kept coordinate from float32 rounding. With frac = 1 every coordinate
+// ships and the error is float32 rounding alone.
+//
+// Loss safety: every payload carries a sequence number; a delta that does
+// not extend the decoder's reference chain (a lost or reordered reference
+// message) fails with ErrDesync instead of applying against the wrong base.
+// Recovery is a full resync: Reset both ends, Encode emits a full payload.
+type topKCodec struct {
+	spec string
+	frac float64
+
+	ref []float64
+	seq uint32
+
+	// selection scratch, reused across Encodes
+	idx []int
+}
+
+var _ Codec = (*topKCodec)(nil)
+
+func (c *topKCodec) Name() string { return c.spec }
+
+func (c *topKCodec) Reset() {
+	c.ref = nil
+	c.seq = 0
+}
+
+func (c *topKCodec) Encode(params []float64) ([]byte, error) {
+	n := len(params)
+	if c.ref == nil || len(c.ref) != n {
+		// Full sync: restart the reference chain at seq 1.
+		c.ref = append(c.ref[:0], params...)
+		c.seq = 1
+		out := make([]byte, 9, 9+8*n)
+		out[0] = ModeFull
+		binary.LittleEndian.PutUint32(out[1:], c.seq)
+		binary.LittleEndian.PutUint32(out[5:], uint32(n))
+		for _, v := range params {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+		return out, nil
+	}
+
+	c.seq++
+	k := int(math.Ceil(c.frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	// Deterministic selection: order by |Δ| descending, index ascending on
+	// ties, then transmit the k winners in index order.
+	c.idx = c.idx[:0]
+	for i := 0; i < n; i++ {
+		c.idx = append(c.idx, i)
+	}
+	absDelta := func(i int) float64 { return math.Abs(params[i] - c.ref[i]) }
+	sort.Slice(c.idx, func(a, b int) bool {
+		da, db := absDelta(c.idx[a]), absDelta(c.idx[b])
+		if da != db {
+			return da > db
+		}
+		return c.idx[a] < c.idx[b]
+	})
+	kept := c.idx[:k]
+	sort.Ints(kept)
+
+	out := make([]byte, 13, 13+8*k)
+	out[0] = ModeDelta
+	binary.LittleEndian.PutUint32(out[1:], c.seq)
+	binary.LittleEndian.PutUint32(out[5:], uint32(n))
+	binary.LittleEndian.PutUint32(out[9:], uint32(k))
+	for _, i := range kept {
+		out = binary.LittleEndian.AppendUint32(out, uint32(i))
+	}
+	for _, i := range kept {
+		v := float32(params[i] - c.ref[i])
+		// Advance the local reference by exactly what the wire carries, so
+		// both ends stay bit-identical and the rounding residual rides into
+		// the next delta.
+		c.ref[i] += float64(v)
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+	}
+	return out, nil
+}
+
+func (c *topKCodec) Decode(payload []byte) ([]float64, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("codec: topk: empty payload")
+	}
+	switch payload[0] {
+	case ModeFull:
+		if len(payload) < 9 {
+			return nil, fmt.Errorf("codec: topk: truncated full payload")
+		}
+		seq := binary.LittleEndian.Uint32(payload[1:])
+		n := int(binary.LittleEndian.Uint32(payload[5:]))
+		if n < 0 || len(payload) != 9+8*n {
+			return nil, fmt.Errorf("codec: topk: full payload length %d does not match %d params", len(payload), n)
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[9+8*i:]))
+		}
+		c.ref = append(c.ref[:0:0], out...)
+		c.seq = seq
+		return out, nil
+	case ModeDelta:
+		if len(payload) < 13 {
+			return nil, fmt.Errorf("codec: topk: truncated delta payload")
+		}
+		seq := binary.LittleEndian.Uint32(payload[1:])
+		n := int(binary.LittleEndian.Uint32(payload[5:]))
+		k := int(binary.LittleEndian.Uint32(payload[9:]))
+		if c.ref == nil {
+			return nil, fmt.Errorf("%w: delta before any full sync", ErrDesync)
+		}
+		if n != len(c.ref) {
+			return nil, fmt.Errorf("%w: delta for %d params, reference has %d", ErrDesync, n, len(c.ref))
+		}
+		if seq != c.seq+1 {
+			return nil, fmt.Errorf("%w: delta seq %d does not extend reference seq %d", ErrDesync, seq, c.seq)
+		}
+		if k < 0 || k > n || len(payload) != 13+8*k {
+			return nil, fmt.Errorf("codec: topk: delta payload length %d does not match k=%d", len(payload), k)
+		}
+		idxs := payload[13 : 13+4*k]
+		vals := payload[13+4*k:]
+		prev := -1
+		for j := 0; j < k; j++ {
+			i := int(binary.LittleEndian.Uint32(idxs[4*j:]))
+			if i <= prev || i >= n {
+				return nil, fmt.Errorf("codec: topk: delta index %d out of order or range (n=%d)", i, n)
+			}
+			prev = i
+		}
+		for j := 0; j < k; j++ {
+			i := int(binary.LittleEndian.Uint32(idxs[4*j:]))
+			v := math.Float32frombits(binary.LittleEndian.Uint32(vals[4*j:]))
+			c.ref[i] += float64(v)
+		}
+		c.seq = seq
+		return append([]float64(nil), c.ref...), nil
+	default:
+		return nil, fmt.Errorf("codec: topk: unknown payload mode %d", payload[0])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"github.com/edgeai/fedml/internal/codec"
 	"github.com/edgeai/fedml/internal/data"
 	"github.com/edgeai/fedml/internal/dro"
 	"github.com/edgeai/fedml/internal/meta"
@@ -143,6 +144,14 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 		rand:   rng.New(cfg.Seed).Split(uint64(nc.ID) + 0x5e7241),
 	}
 
+	// Codec state mirrors the platform: every parameter message carries the
+	// codec tag, so the node instantiates the matching decoder/encoder pair
+	// on first sight and re-creates it if the tag ever changes.
+	var (
+		downDec codec.Codec // decodes platform→node parameter payloads
+		upEnc   codec.Codec // encodes this node's update replies
+	)
+
 	for {
 		msg, err := nl.recv()
 		if err != nil {
@@ -152,6 +161,36 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 		case transport.KindDone:
 			return nil
 		case transport.KindParams:
+			global := tensor.Vec(msg.Params)
+			if msg.Codec != "" {
+				if downDec == nil || downDec.Name() != msg.Codec {
+					if downDec, err = codec.New(msg.Codec); err != nil {
+						return fmt.Errorf("core: node %d: platform sent %v", nc.ID, err)
+					}
+					upEnc, _ = codec.New(msg.Codec)
+				}
+				decoded, derr := downDec.Decode(msg.Payload)
+				if derr != nil {
+					// A broken reference chain (missed broadcasts) or wire
+					// corruption. Report it and stay alive: a fault-tolerant
+					// platform marks this node suspect and its next probe is
+					// a full resync the fresh chain can decode.
+					_ = nl.send(transport.Msg{
+						Kind:   transport.KindError,
+						Round:  msg.Round,
+						NodeID: nc.ID,
+						Err:    fmt.Sprintf("decode params: %v", derr),
+					})
+					continue
+				}
+				if codec.IsFull(msg.Payload) {
+					// A full downlink doubles as the resync signal: restart
+					// the uplink chain so the platform's reset decoder gets
+					// a full payload back.
+					upEnc.Reset()
+				}
+				global = tensor.Vec(decoded)
+			}
 			steps := cfg.T0
 			if msg.LocalSteps > 0 {
 				steps = msg.LocalSteps
@@ -160,7 +199,7 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 			if cfg.Observer != nil {
 				compT0 = time.Now()
 			}
-			theta, err := n.localUpdates(tensor.Vec(msg.Params), steps, msg.Round)
+			theta, err := n.localUpdates(global, steps, msg.Round)
 			if err != nil {
 				// Report the failure to the platform so it can abort the
 				// round instead of hanging.
@@ -178,15 +217,30 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 					Iter: n.iter, T0: steps, Dur: time.Since(compT0),
 				})
 			}
-			// Ownership of Msg.Params transfers to the receiver on Send
-			// (see transport.Msg); theta is the node's reusable buffer, so
-			// a copy must cross the boundary.
-			if err := nl.send(transport.Msg{
+			// Ownership of Msg.Params/Payload transfers to the receiver on
+			// Send (see transport.Msg); theta is the node's reusable buffer,
+			// so a copy (or a fresh encoding) must cross the boundary.
+			reply := transport.Msg{
 				Kind:   transport.KindUpdate,
 				Round:  msg.Round,
 				NodeID: nc.ID,
-				Params: theta.Clone(),
-			}); err != nil {
+			}
+			if msg.Codec != "" {
+				payload, eerr := upEnc.Encode(theta)
+				if eerr != nil {
+					_ = nl.send(transport.Msg{
+						Kind:   transport.KindError,
+						Round:  msg.Round,
+						NodeID: nc.ID,
+						Err:    eerr.Error(),
+					})
+					return fmt.Errorf("core: node %d encode update: %w", nc.ID, eerr)
+				}
+				reply.Codec, reply.Payload = msg.Codec, payload
+			} else {
+				reply.Params = theta.Clone()
+			}
+			if err := nl.send(reply); err != nil {
 				return fmt.Errorf("core: node %d send update: %w", nc.ID, err)
 			}
 		default:

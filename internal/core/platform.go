@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/edgeai/fedml/internal/checkpoint"
+	"github.com/edgeai/fedml/internal/codec"
 	"github.com/edgeai/fedml/internal/obs"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
@@ -129,13 +130,85 @@ type platformRun struct {
 	// an observer is attached, keeping the nil path allocation-free.
 	obs       obs.RoundObserver
 	prevTheta tensor.Vec
+
+	// codecSpec/down/up hold the update-compression state when Config.Codec
+	// selects a non-raw codec: one downlink encoder and one uplink decoder
+	// per link, so stateful codecs keep an independent reference chain per
+	// node. All three stay nil/empty for raw runs, preserving the
+	// allocation-free Params hot path.
+	codecSpec string
+	down      []codec.Codec
+	up        []codec.Codec
 }
 
-// billDown accounts one downlink (platform→node) parameter message, billed
-// on the attempted send — the transport cannot tell delivered from lost
-// (see CommStats.Messages).
-func (p *platformRun) billDown(node, round int, probe bool) {
-	nBytes := int64(8 * len(p.theta))
+// wireBytes is the billed size of a parameter-bearing message: the encoded
+// payload when one is attached, 8 bytes per raw parameter otherwise.
+func wireBytes(m transport.Msg) int64 {
+	if len(m.Payload) > 0 {
+		return int64(len(m.Payload))
+	}
+	return int64(8 * len(m.Params))
+}
+
+// paramsMsg builds the KindParams message carrying the current θ to link i.
+// Raw runs ship a clone of θ (ownership transfers on Send); codec runs
+// encode through link i's downlink encoder. resync restarts the link's
+// reference chains first, so the message is guaranteed to be a full payload
+// any decoder state can accept — the recovery offer sent with every probe.
+func (p *platformRun) paramsMsg(i, round, t0 int, resync bool) (transport.Msg, error) {
+	m := transport.Msg{Kind: transport.KindParams, Round: round, LocalSteps: t0}
+	if p.down == nil {
+		m.Params = p.theta.Clone()
+		return m, nil
+	}
+	if resync {
+		p.resyncLink(i)
+	}
+	payload, err := p.down[i].Encode(p.theta)
+	if err != nil {
+		return transport.Msg{}, fmt.Errorf("core: encode broadcast for node %d: %w", i, err)
+	}
+	m.Codec = p.codecSpec
+	m.Payload = payload
+	return m, nil
+}
+
+// resyncLink drops link i's codec reference chains, forcing the next
+// downlink message to be a full payload and priming the uplink decoder to
+// accept the full reply it triggers. No-op for raw runs.
+func (p *platformRun) resyncLink(i int) {
+	if p.down == nil {
+		return
+	}
+	p.down[i].Reset()
+	p.up[i].Reset()
+}
+
+// decodeUp expands the compressed update carried by msg through link i's
+// uplink decoder, filling msg.Params in place. Every failure wraps
+// errDecode so the round loop can tell wire damage from protocol abuse.
+func (p *platformRun) decodeUp(i int, msg *transport.Msg) error {
+	if p.up == nil || msg.Codec != p.codecSpec {
+		return fmt.Errorf("%w: node %d sent codec %q, platform expects %q", errDecode, i, msg.Codec, p.codecSpec)
+	}
+	params, err := p.up[i].Decode(msg.Payload)
+	if err != nil {
+		return fmt.Errorf("%w: node %d: %v", errDecode, i, err)
+	}
+	msg.Params = params
+	return nil
+}
+
+// errDecode marks a delivered update whose payload could not be decoded —
+// wire corruption or a broken codec reference chain. Fault-tolerant rounds
+// treat it like a sanitation reject (bill, discard, resync the link);
+// strict rounds abort.
+var errDecode = errors.New("core: undecodable update payload")
+
+// billDown accounts one downlink (platform→node) parameter message of
+// nBytes wire bytes, billed on the attempted send — the transport cannot
+// tell delivered from lost (see CommStats.Messages).
+func (p *platformRun) billDown(node, round int, probe bool, nBytes int64) {
 	p.stats.Messages++
 	p.stats.Bytes += nBytes
 	if p.obs != nil {
@@ -165,6 +238,9 @@ func (p *platformRun) markSuspect(i, round int, cause error) {
 	p.alive[i] = false
 	p.aliveCnt--
 	p.stats.Dropped++
+	// The node may have missed any number of messages while unreachable, so
+	// its codec reference chains are unusable until a full resync.
+	p.resyncLink(i)
 	if p.obs != nil {
 		p.obs.Observe(obs.Event{Type: obs.TypeDrop, Round: round, Node: i, Alive: p.aliveCnt, Cause: cause.Error()})
 	}
@@ -230,7 +306,16 @@ func (p *platformRun) gatherFrom(i, round int, d time.Duration) (transport.Msg, 
 			}
 			return transport.Msg{}, fmt.Errorf("%w: node %d answered round %d during round %d", ErrProtocol, i, msg.Round, round)
 		}
-		if len(msg.Params) != len(p.theta) {
+		if msg.Codec != "" || len(msg.Payload) > 0 {
+			// The message is returned alongside the error so the caller can
+			// bill the bytes that did cross the wire.
+			if err := p.decodeUp(i, &msg); err != nil {
+				return msg, err
+			}
+			if len(msg.Params) != len(p.theta) {
+				return msg, fmt.Errorf("%w: node %d payload decoded to %d params, want %d", errDecode, i, len(msg.Params), len(p.theta))
+			}
+		} else if len(msg.Params) != len(p.theta) {
 			return transport.Msg{}, fmt.Errorf("%w: node %d sent %d params, want %d", ErrProtocol, i, len(msg.Params), len(p.theta))
 		}
 		if err := p.bindNodeID(i, msg.NodeID); err != nil {
@@ -366,6 +451,17 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 	if p.obs != nil {
 		p.prevTheta = make(tensor.Vec, len(p.theta))
 	}
+	if c.Codec != "" && c.Codec != codec.Raw {
+		// One encoder/decoder pair per link: stateful codecs track each
+		// node's reference chain independently. Validate caught bad specs.
+		p.codecSpec = c.Codec
+		p.down = make([]codec.Codec, len(links))
+		p.up = make([]codec.Codec, len(links))
+		for i := range links {
+			p.down[i], _ = codec.New(c.Codec)
+			p.up[i], _ = codec.New(c.Codec)
+		}
+	}
 
 	selector := newParticipationSelector(c, len(links))
 	var (
@@ -438,18 +534,18 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 
 		roundNodes := selected[:0:len(selected)]
 		for _, i := range selected {
-			// Ownership of Msg.Params transfers to the receiver on Send
-			// (see transport.Msg). theta is the platform's reusable
+			// Ownership of Msg.Params/Payload transfers to the receiver on
+			// Send (see transport.Msg). theta is the platform's reusable
 			// aggregation buffer — and in fault-tolerant mode the async
 			// pump may deliver the message after this round's aggregation
-			// has overwritten it — so every broadcast carries its own copy.
-			err := ops.send(i, transport.Msg{
-				Kind:       transport.KindParams,
-				Round:      round,
-				Params:     p.theta.Clone(),
-				LocalSteps: t0,
-			})
+			// has overwritten it — so every broadcast carries its own copy
+			// (a clone when raw, a freshly encoded payload otherwise).
+			m, err := p.paramsMsg(i, round, t0, false)
 			if err != nil {
+				return nil, p.stats, err
+			}
+			nBytes := wireBytes(m)
+			if err := ops.send(i, m); err != nil {
 				if ft {
 					p.markSuspect(i, round, err)
 					continue
@@ -457,28 +553,29 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 				return nil, p.stats, fmt.Errorf("core: broadcast round %d to node %d: %w", round, i, err)
 			}
 			roundNodes = append(roundNodes, i)
-			p.billDown(i, round, false)
+			p.billDown(i, round, false, nBytes)
 		}
 
 		// Re-probe suspects with the current θ: a dropped node that has
-		// recovered answers like any other and rejoins below.
+		// recovered answers like any other and rejoins below. Every probe
+		// resyncs the link's codec chains first — an unanswered probe must
+		// not advance the reference a revived node has never seen.
 		var probeNodes []int
 		if ft {
 			for i := range p.alive {
 				if p.alive[i] {
 					continue
 				}
-				err := ops.trySend(i, transport.Msg{
-					Kind:       transport.KindParams,
-					Round:      round,
-					Params:     p.theta.Clone(),
-					LocalSteps: t0,
-				}, probeTO)
+				m, err := p.paramsMsg(i, round, t0, true)
 				if err != nil {
+					return nil, p.stats, err
+				}
+				nBytes := wireBytes(m)
+				if err := ops.trySend(i, m, probeTO); err != nil {
 					continue
 				}
 				probeNodes = append(probeNodes, i)
-				p.billDown(i, round, true)
+				p.billDown(i, round, true, nBytes)
 			}
 		}
 
@@ -489,7 +586,7 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		accept := func(i int, msg transport.Msg) {
 			// The message crossed the wire either way; account for it even
 			// when the sanitation guard discards the payload.
-			p.billUp(i, round, int64(8*len(msg.Params)))
+			p.billUp(i, round, wireBytes(msg))
 			if err := p.sanitize(tensor.Vec(msg.Params), thetaNorm); err != nil {
 				p.stats.Rejected++
 				if p.obs != nil {
@@ -505,6 +602,21 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		for _, i := range roundNodes {
 			msg, err := p.gatherFrom(i, round, c.RoundTimeout)
 			if err != nil {
+				if ft && errors.Is(err, errDecode) {
+					// Delivered but undecodable (wire corruption or a broken
+					// reference chain): bill the bytes that arrived, discard
+					// like a sanitation reject, and force a full resync so
+					// the next exchange re-establishes the chain. The node
+					// stays in the federation.
+					p.billUp(i, round, wireBytes(msg))
+					p.stats.Rejected++
+					if p.obs != nil {
+						p.obs.Observe(obs.Event{Type: obs.TypeReject, Round: round, Node: i, Cause: err.Error()})
+					}
+					p.resyncLink(i)
+					logf("core: rejected update from node %d in round %d: %v", i, round, err)
+					continue
+				}
 				if ft {
 					p.markSuspect(i, round, err)
 					continue

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtCodecAccuracyVsBytes(t *testing.T) {
+	cfg := DefaultExtCodecConfig(ScaleCI)
+	res, err := RunExtCodec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != len(cfg.Codecs) {
+		t.Fatalf("%d curves for %d codecs", len(res.Curves), len(cfg.Codecs))
+	}
+	if res.Codecs[0] != "raw" {
+		t.Fatalf("first codec %q, want the raw baseline", res.Codecs[0])
+	}
+	rawBytes, rawAcc := res.Bytes[0], res.FinalAcc[0]
+	for i, name := range res.Codecs {
+		if len(res.Curves[i].Points) == 0 {
+			t.Errorf("%s: empty accuracy-vs-bytes curve", name)
+		}
+		if res.Bytes[i] <= 0 {
+			t.Errorf("%s: billed %d bytes", name, res.Bytes[i])
+		}
+		if name == "raw" {
+			continue
+		}
+		if res.Bytes[i] >= rawBytes {
+			t.Errorf("%s: %d bytes, not below raw's %d", name, res.Bytes[i], rawBytes)
+		}
+		if gap := rawAcc - res.FinalAcc[i]; gap > 0.05 {
+			t.Errorf("%s: final accuracy %.4f trails raw %.4f by %.4f", name, res.FinalAcc[i], rawAcc, gap)
+		}
+	}
+	// The headline claims: q8 and topk are >= 4x smaller than raw.
+	for i, name := range res.Codecs {
+		if name != "q8" && name != "topk" {
+			continue
+		}
+		if ratio := float64(rawBytes) / float64(res.Bytes[i]); ratio < 4 {
+			t.Errorf("%s: compression ratio %.2fx < 4x", name, ratio)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"accuracy vs wire traffic", "ratio vs raw", "topk"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtCodecInRegistry(t *testing.T) {
+	for _, e := range All() {
+		if e.ID == "ext-codec" {
+			return
+		}
+	}
+	t.Fatal("ext-codec not registered")
+}

@@ -142,6 +142,15 @@ func All() []Experiment {
 			},
 		},
 		{
+			ID:          "ext-codec",
+			Description: "Extension: accuracy vs wire bytes by update codec (raw/f16/q8/topk)",
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultExtCodecConfig(s)
+				cfg.Workers = workers
+				return RunExtCodec(cfg)
+			},
+		},
+		{
 			ID:          "ext-meta-opt",
 			Description: "Extension: outer-optimizer ablation (SGD vs momentum vs Adam)",
 			Run: func(s Scale, workers int) (Renderable, error) {

@@ -219,20 +219,27 @@ func (c *Chaos) Recv() (Msg, error) {
 			return Msg{}, err
 		}
 		c.mu.Lock()
-		drop := c.killed || c.partFromNode ||
+		drop := c.killed || c.partFromNode || c.dropNext > 0 ||
 			(c.cfg.DropProb > 0 && c.rand.Float64() < c.cfg.DropProb)
 		if drop {
+			if c.dropNext > 0 {
+				c.dropNext--
+			}
 			c.Dropped++
 			c.mu.Unlock()
 			continue
 		}
-		corrupt := len(m.Params) > 0 &&
+		corrupt := (len(m.Params) > 0 || len(m.Payload) > 0) &&
 			(c.corruptNext > 0 || (c.cfg.CorruptProb > 0 && c.rand.Float64() < c.cfg.CorruptProb))
 		if corrupt {
 			if c.corruptNext > 0 {
 				c.corruptNext--
 			}
-			c.corruptPayload(m.Params)
+			if len(m.Params) > 0 {
+				c.corruptPayload(m.Params)
+			} else {
+				c.corruptBytes(m.Payload)
+			}
 			c.Corrupted++
 		}
 		d := c.delay()
@@ -264,6 +271,18 @@ func (c *Chaos) corruptPayload(p []float64) {
 		for i := range p {
 			p[i] *= 1e9
 		}
+	}
+}
+
+// corruptBytes damages an encoded (codec) payload in place: between one and
+// eight random bit flips anywhere in the buffer, modeling the same wire
+// faults on compressed traffic. The receiving codec must either reject the
+// payload outright or decode values the sanitation guard then catches.
+// Called with mu held.
+func (c *Chaos) corruptBytes(p []byte) {
+	flips := 1 + c.rand.IntN(8)
+	for j := 0; j < flips; j++ {
+		p[c.rand.IntN(len(p))] ^= 1 << c.rand.IntN(8)
 	}
 }
 

@@ -61,6 +61,14 @@ type Msg struct {
 	LocalSteps int `json:"local_steps,omitempty"`
 	// Err carries a node-side error description on KindError.
 	Err string `json:"err,omitempty"`
+	// Codec and Payload carry compressed parameters instead of Params: when
+	// Codec is non-empty, Payload holds the parameter vector encoded by the
+	// internal/codec implementation Codec names, and Params is empty. Every
+	// message is self-describing — a receiver instantiates the named codec
+	// on first sight, so mixed fleets and codec changes need no handshake
+	// round. Payload follows the same ownership contract as Params.
+	Codec   string `json:"codec,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
 }
 
 // Link is one endpoint of a bidirectional, ordered, reliable message pipe.
