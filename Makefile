@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short check chaos-smoke obs-smoke codec-smoke profile bench bench-json bench-check bench-paper bench-par fuzz fuzz-smoke examples clean
+.PHONY: all build vet test test-race test-short check chaos-smoke obs-smoke codec-smoke shard-smoke profile bench bench-json bench-check bench-paper bench-par bench-scale fuzz fuzz-smoke examples clean
 
 # Scratch directory for generated artifacts (metrics sinks, bench output,
 # profiles); removed by `make clean`, never committed.
@@ -65,6 +65,20 @@ codec-smoke:
 		-metrics-out $(BUILD_DIR)/codec_smoke.jsonl
 	$(GO) run ./cmd/obscheck $(BUILD_DIR)/codec_smoke.jsonl
 
+# Two-tier topology smoke: the same chaos scenario through two leaf shard
+# aggregators and a director, with q8 update compression. The director and
+# each shard write their own metrics stream, and obscheck validates all three
+# independently — per-shard traffic accounting must reconstruct exactly even
+# when the faults land inside the shards.
+shard-smoke:
+	@mkdir -p $(BUILD_DIR)
+	$(GO) run ./cmd/fedml train -dataset synthetic -nodes 6 -k 3 -t 30 -t0 5 \
+		-seed 7 -shards 2 -codec q8 -round-timeout 500ms -guard 25 \
+		-chaos "1:kill@2,1:revive@4,4:corrupt@3" -chaos-seed 11 \
+		-metrics-out $(BUILD_DIR)/shard_smoke.jsonl
+	$(GO) run ./cmd/obscheck $(BUILD_DIR)/shard_smoke.jsonl \
+		$(BUILD_DIR)/shard_smoke.shard0.jsonl $(BUILD_DIR)/shard_smoke.shard1.jsonl
+
 # CPU + heap profiles of the hot end-to-end benchmark (fig2a). Inspect with
 # `go tool pprof cpu.pprof`; live runs expose the same data via -pprof.
 profile:
@@ -100,9 +114,15 @@ bench-paper:
 
 # Parallel-speedup snapshot: time the fig2a grid at workers=1 vs all cores,
 # verify the outputs are byte-identical (the determinism contract), and
-# record the measurement in BENCH_experiments.json.
+# merge the measurement into BENCH_experiments.json under "par_bench".
 bench-par:
 	$(GO) run ./cmd/fedml-bench -par-bench -out BENCH_experiments.json
+
+# Fleet-scale throughput snapshot: run ext-scale (10⁵+ simulated nodes per
+# round through the sharded two-tier topology) at paper scale and merge
+# rounds/sec into BENCH_experiments.json under "ext_scale".
+bench-scale:
+	$(GO) run ./cmd/fedml-bench -scale-bench -paper -out BENCH_experiments.json
 
 # Short fuzzing pass over the parsers and the update codecs.
 fuzz:

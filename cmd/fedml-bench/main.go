@@ -6,6 +6,7 @@
 //	fedml-bench -exp fig2a            # run one experiment (CI scale)
 //	fedml-bench -exp all -paper       # run everything at paper scale
 //	fedml-bench -par-bench -workers 4 # measure parallel speedup on fig2a
+//	fedml-bench -scale-bench -paper   # measure fleet-scale sharded throughput
 //
 // Each experiment prints the same rows/series the paper reports; the
 // per-experiment index lives in DESIGN.md §4.
@@ -33,13 +34,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedml-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment id (see -list) or \"all\"")
-		paper    = fs.Bool("paper", false, "run at the paper's scale instead of the fast CI scale")
-		list     = fs.Bool("list", false, "list available experiments and exit")
-		workers  = fs.Int("workers", 0, "worker count for parallel sections (0 = all cores, 1 = serial)")
-		parBench = fs.Bool("par-bench", false, "benchmark the fig2a grid at workers=1 vs -workers, verify identical output, and report the speedup")
-		out      = fs.String("out", "", "with -par-bench: write the measurements as JSON to this file")
-		codecs   = fs.String("codec", "", "with -exp ext-codec: comma-separated update codecs to compare, first is the baseline (default raw,f16,q8,topk)")
+		exp        = fs.String("exp", "all", "experiment id (see -list) or \"all\"")
+		paper      = fs.Bool("paper", false, "run at the paper's scale instead of the fast CI scale")
+		list       = fs.Bool("list", false, "list available experiments and exit")
+		workers    = fs.Int("workers", 0, "worker count for parallel sections (0 = all cores, 1 = serial)")
+		parBench   = fs.Bool("par-bench", false, "benchmark the fig2a grid at workers=1 vs -workers, verify identical output, and report the speedup")
+		scaleBench = fs.Bool("scale-bench", false, "benchmark fleet-scale two-tier aggregation (ext-scale) and report rounds/sec")
+		out        = fs.String("out", "", "with -par-bench or -scale-bench: merge the measurement into this keyed JSON file")
+		codecs     = fs.String("codec", "", "with -exp ext-codec: comma-separated update codecs to compare, first is the baseline (default raw,f16,q8,topk)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +62,9 @@ func run(args []string) error {
 
 	if *parBench {
 		return runParBench(scale, *workers, *out)
+	}
+	if *scaleBench {
+		return runScaleBench(scale, *out)
 	}
 
 	if *codecs != "" {
@@ -97,16 +102,69 @@ func run(args []string) error {
 	return nil
 }
 
-// parBenchReport is the JSON shape written by -par-bench.
+// parBenchReport is the JSON shape stored under "par_bench".
 type parBenchReport struct {
-	Experiment      string  `json:"experiment"`
-	Scale           string  `json:"scale"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	Workers         int     `json:"workers"`
-	SerialNs        int64   `json:"serial_ns"`
-	ParallelNs      int64   `json:"parallel_ns"`
-	Speedup         float64 `json:"speedup"`
-	OutputIdentical bool    `json:"output_identical"`
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	// GOMAXPROCS and Workers record the actual parallelism of the run, so a
+	// snapshot taken on a small machine is honest about what it compared.
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+	// Degenerate marks a single-core host: both legs ran at effective
+	// parallelism 1, so Speedup measures overhead, not scaling.
+	Degenerate      bool `json:"degenerate,omitempty"`
+	OutputIdentical bool `json:"output_identical"`
+}
+
+// scaleBenchReport is the JSON shape stored under "ext_scale".
+type scaleBenchReport struct {
+	Scale            string  `json:"scale"`
+	Nodes            int     `json:"nodes"`
+	Shards           int     `json:"shards"`
+	Dim              int     `json:"dim"`
+	Rounds           int     `json:"rounds"`
+	ElapsedNs        int64   `json:"elapsed_ns"`
+	RoundsPerSec     float64 `json:"rounds_per_sec"`
+	NodeRoundsPerSec float64 `json:"node_rounds_per_sec"`
+	StatsParity      bool    `json:"stats_parity"`
+	MaxClosedFormErr float64 `json:"max_closed_form_err"`
+}
+
+// benchKeys are the families BENCH_experiments.json may hold; anything else
+// found in the file (e.g. the legacy flat par-bench shape) is dropped on the
+// next write.
+var benchKeys = []string{"par_bench", "ext_scale"}
+
+// mergeBenchEntry read-modify-writes one family entry into the keyed
+// measurement file, preserving the other families' entries.
+func mergeBenchEntry(path, key string, entry any) error {
+	doc := map[string]json.RawMessage{}
+	if blob, err := os.ReadFile(path); err == nil {
+		var prev map[string]json.RawMessage
+		if json.Unmarshal(blob, &prev) == nil {
+			for _, k := range benchKeys {
+				if v, ok := prev[k]; ok {
+					doc[k] = v
+				}
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("bench merge read %s: %w", path, err)
+	}
+	blob, err := json.Marshal(entry)
+	if err != nil {
+		return fmt.Errorf("bench marshal %s: %w", key, err)
+	}
+	doc[key] = blob
+	// MarshalIndent re-indents the embedded raw entries consistently.
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench marshal %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // runParBench times the fig2a grid serially and at the requested worker
@@ -138,20 +196,52 @@ func runParBench(scale experiments.Scale, workers int, outPath string) error {
 		SerialNs:        serialNs,
 		ParallelNs:      parNs,
 		Speedup:         float64(serialNs) / float64(parNs),
+		Degenerate:      runtime.GOMAXPROCS(0) == 1,
 		OutputIdentical: serialOut == parOut,
 	}
 	fmt.Printf("par-bench fig2a (scale=%s): serial %.2fs, workers=%d %.2fs, speedup %.2fx, identical=%v\n",
 		rep.Scale, float64(serialNs)/1e9, workers, float64(parNs)/1e9, rep.Speedup, rep.OutputIdentical)
+	if rep.Degenerate {
+		fmt.Println("par-bench: GOMAXPROCS=1 — both legs ran serially, so the speedup measures worker-pool overhead, not scaling")
+	}
 	if !rep.OutputIdentical {
 		return fmt.Errorf("par-bench: workers=1 and workers=%d outputs differ — determinism contract violated", workers)
 	}
 	if outPath != "" {
-		blob, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return fmt.Errorf("par-bench marshal: %w", err)
+		if err := mergeBenchEntry(outPath, "par_bench", rep); err != nil {
+			return err
 		}
-		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
-			return fmt.Errorf("par-bench write: %w", err)
+	}
+	return nil
+}
+
+// runScaleBench measures the ext-scale experiment — the two-tier topology at
+// fleet size — and merges rounds/sec into the measurement file.
+func runScaleBench(scale experiments.Scale, outPath string) error {
+	cfg := experiments.DefaultExtScaleConfig(scale)
+	res, err := experiments.RunExtScale(cfg)
+	if err != nil {
+		return fmt.Errorf("scale-bench: %w", err)
+	}
+	fmt.Print(res.Render())
+	if !res.StatsParity {
+		return fmt.Errorf("scale-bench: root stats diverged from shard sum: %+v", res.Root)
+	}
+	if outPath != "" {
+		rep := scaleBenchReport{
+			Scale:            scale.String(),
+			Nodes:            res.Nodes,
+			Shards:           res.Shards,
+			Dim:              res.Dim,
+			Rounds:           res.Rounds,
+			ElapsedNs:        res.Elapsed.Nanoseconds(),
+			RoundsPerSec:     res.RoundsPerSec,
+			NodeRoundsPerSec: res.NodeRoundsPerSec,
+			StatsParity:      res.StatsParity,
+			MaxClosedFormErr: res.MaxClosedFormErr,
+		}
+		if err := mergeBenchEntry(outPath, "ext_scale", rep); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -30,6 +30,8 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/edgeai/fedml/internal/checkpoint"
@@ -305,6 +307,7 @@ func runTrain(args []string) error {
 	c := addCommonFlags(fs)
 	ff := addFaultFlags(fs)
 	of := addObsFlags(fs)
+	shards := fs.Int("shards", 0, "two-tier topology: number of leaf shard aggregators under a director (0 = flat platform); θ is bit-identical to the flat run")
 	adaptSteps := fs.Int("adapt-steps", 5, "fast-adaptation gradient steps at target nodes")
 	savePath := fs.String("save", "", "write the trained meta-model checkpoint to this path")
 	if err := fs.Parse(args); err != nil {
@@ -335,7 +338,19 @@ func runTrain(args []string) error {
 	if err := ff.apply(&cfg); err != nil {
 		return err
 	}
-	res, err := core.Train(m, fed, nil, cfg)
+	var (
+		theta tensor.Vec
+		comm  core.CommStats
+	)
+	if *shards > 0 {
+		theta, comm, err = trainSharded(m, fed, cfg, *shards, of.metricsOut)
+	} else {
+		var res *core.Result
+		res, err = core.Train(m, fed, nil, cfg)
+		if res != nil {
+			theta, comm = res.Theta, res.Comm
+		}
+	}
 	if err != nil {
 		_ = closeObs()
 		return err
@@ -347,10 +362,10 @@ func runTrain(args []string) error {
 		fmt.Printf("per-round metrics written to %s\n", of.metricsOut)
 	}
 	fmt.Printf("training done: %d rounds, %d messages, %.1f KiB transferred\n",
-		res.Comm.Rounds, res.Comm.Messages, float64(res.Comm.Bytes)/1024)
-	printResilience(res.Comm)
+		comm.Rounds, comm.Messages, float64(comm.Bytes)/1024)
+	printResilience(comm)
 
-	curve := eval.AverageAdaptationCurveN(m, res.Theta, fed.Targets, c.alpha, *adaptSteps, c.workers)
+	curve := eval.AverageAdaptationCurveN(m, theta, fed.Targets, c.alpha, *adaptSteps, c.workers)
 	fmt.Println("fast adaptation at held-out target nodes:")
 	for _, p := range curve {
 		fmt.Printf("  step %2d: loss %.4f  accuracy %.3f\n", p.Step, p.Loss, p.Accuracy)
@@ -358,7 +373,7 @@ func runTrain(args []string) error {
 
 	if *savePath != "" {
 		desc := fmt.Sprintf("FedML %s nodes=%d T=%d T0=%d", c.dataset, c.nodes, c.t, c.t0)
-		ck, err := checkpoint.FromModel(m, res.Theta, c.alpha, desc)
+		ck, err := checkpoint.FromModel(m, theta, c.alpha, desc)
 		if err != nil {
 			return err
 		}
@@ -368,6 +383,60 @@ func runTrain(args []string) error {
 		fmt.Printf("checkpoint written to %s\n", *savePath)
 	}
 	return nil
+}
+
+// shardMetricsPath derives the per-shard metrics file from the root path by
+// inserting ".shard<N>" before the extension: metrics.jsonl →
+// metrics.shard0.jsonl.
+func shardMetricsPath(path string, shard int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.shard%d%s", strings.TrimSuffix(path, ext), shard, ext)
+}
+
+// trainSharded runs training through the two-tier topology: the nodes are
+// partitioned into shard aggregators under a director. With -metrics-out set,
+// each shard writes its own JSONL stream next to the director's — the shard
+// streams carry the traffic and fault events, the director stream the global
+// rounds, and each validates independently under cmd/obscheck.
+func trainSharded(m nn.Model, fed *data.Federation, cfg core.Config, shards int, metricsOut string) (tensor.Vec, core.CommStats, error) {
+	ranges := core.ShardRanges(len(fed.Sources), shards)
+	opt := core.ShardedOptions{Ranges: ranges}
+	sinks := make([]*obs.JSONLSink, 0, len(ranges))
+	closeSinks := func() error {
+		var first error
+		for _, s := range sinks {
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if metricsOut != "" {
+		// The sinks are pre-created here because ShardObserver cannot fail.
+		for s := range ranges {
+			sink, err := obs.CreateJSONL(shardMetricsPath(metricsOut, s))
+			if err != nil {
+				_ = closeSinks()
+				return nil, core.CommStats{}, err
+			}
+			sinks = append(sinks, sink)
+		}
+		opt.ShardObserver = func(shard int) obs.RoundObserver { return sinks[shard] }
+	}
+	fmt.Printf("two-tier topology: %d shard aggregators over %d nodes\n", len(ranges), len(fed.Sources))
+	res, err := core.TrainSharded(m, fed, nil, cfg, opt)
+	if err != nil {
+		_ = closeSinks()
+		return nil, core.CommStats{}, err
+	}
+	if err := closeSinks(); err != nil {
+		return nil, core.CommStats{}, err
+	}
+	for s, st := range res.Shards {
+		fmt.Printf("  shard %d (nodes %d..%d): %d messages, %.1f KiB\n",
+			s, ranges[s].Lo, ranges[s].Hi-1, st.Messages, float64(st.Bytes)/1024)
+	}
+	return res.Theta, res.Comm, nil
 }
 
 // runAdapt plays the target edge device: load a meta-model checkpoint,

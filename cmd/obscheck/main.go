@@ -4,9 +4,13 @@
 // counts, the cumulative block must never regress, and the sum of per-round
 // traffic deltas must reconstruct the final cumulative totals exactly.
 // It exits non-zero on the first violation, which makes it the checker
-// behind `make obs-smoke` and the CI observability job.
+// behind `make obs-smoke`, `make shard-smoke`, and the CI observability job.
 //
-// Usage: obscheck <metrics.jsonl>   (or - for stdin)
+// Usage: obscheck <metrics.jsonl> [more.jsonl ...]   (or - for stdin)
+//
+// Each file validates independently; sharded runs (fedml train -shards) emit
+// one stream for the director and one per shard aggregator, and all of them
+// must satisfy the same schema and reconstruction invariants.
 package main
 
 import (
@@ -27,12 +31,23 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: obscheck <metrics.jsonl>")
+	if len(args) == 0 {
+		return fmt.Errorf("usage: obscheck <metrics.jsonl> [more.jsonl ...]")
 	}
+	for _, arg := range args {
+		if err := checkFile(arg, len(args) > 1, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkFile validates one metrics stream ("-" reads stdin). With prefix set
+// the ok line names the file, so multi-file runs stay readable.
+func checkFile(path string, prefix bool, out io.Writer) error {
 	var in io.Reader = os.Stdin
-	if args[0] != "-" {
-		f, err := os.Open(args[0])
+	if path != "-" {
+		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
@@ -41,7 +56,13 @@ func run(args []string, out io.Writer) error {
 	}
 	n, cum, err := validate(in)
 	if err != nil {
+		if path != "-" {
+			return fmt.Errorf("%s: %w", path, err)
+		}
 		return err
+	}
+	if prefix {
+		fmt.Fprintf(out, "%s: ", path)
 	}
 	fmt.Fprintf(out, "ok: %d records, %d rounds (%d skipped), %d messages, %d bytes, %d dropped, %d rejoined, %d rejected\n",
 		n, cum.Rounds, cum.SkippedRounds, cum.Messages, cum.Bytes, cum.Dropped, cum.Rejoined, cum.Rejected)

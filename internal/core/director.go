@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/edgeai/fedml/internal/checkpoint"
+	"github.com/edgeai/fedml/internal/obs"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+// RunDirector executes the root of the two-tier topology: it registers the
+// shard aggregators (shards[s] is the link to the leaf owning global index
+// range ranges[s]), dispatches each round's θ and step count to every
+// shard, merges the returned partial sums with the aggregation core's fixed
+// merge rule, and renormalizes once at the root — Eq. 5 computed
+// hierarchically. Because the shard layout must align with the merge
+// recursion (use ShardRanges; validateRanges enforces it), the θ sequence
+// is bit-identical to the flat RunPlatform over the same nodes whenever the
+// same updates arrive, no matter how many shards the fleet is split across.
+//
+// Policy stays at the root: the T0 schedule, checkpoint/resume, and the
+// round lifecycle (including skip accounting when no shard contributes) are
+// the director's, while client sampling, fault tolerance, codecs, and the
+// sanitation guard run inside each shard. Config.MinNodes therefore applies
+// per shard. Director↔shard links are treated as a reliable in-process
+// control plane: dispatches and partials are not billed (root traffic
+// totals are the sum of the shard-reported totals — exact counter parity),
+// and any link failure aborts the run.
+//
+// Returns the final θ, the root accounting (traffic and fault counters are
+// the sum over shards; Rounds/SkippedRounds count the director's own global
+// aggregations), and the per-shard accounting as last reported.
+func RunDirector(shards []transport.Link, ranges []ShardRange, theta0 tensor.Vec, cfg Config) (tensor.Vec, CommStats, []CommStats, error) {
+	var stats CommStats
+	c := cfg.normalized()
+	if err := c.Validate(); err != nil {
+		return nil, stats, nil, err
+	}
+	if len(shards) == 0 {
+		return nil, stats, nil, fmt.Errorf("core: no shards to direct")
+	}
+	if len(shards) != len(ranges) {
+		return nil, stats, nil, fmt.Errorf("core: %d shard links but %d shard ranges", len(shards), len(ranges))
+	}
+	n := ranges[len(ranges)-1].Hi
+	if err := validateRanges(n, ranges); err != nil {
+		return nil, stats, nil, err
+	}
+	if len(theta0) == 0 {
+		return nil, stats, nil, fmt.Errorf("core: empty initial parameters")
+	}
+	logf := c.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	S := len(shards)
+	theta := theta0.Clone()
+	merge := newMergeCore(ranges, len(theta))
+	useHT := c.UnbiasedParticipation && c.samplingActive()
+	ft := c.RoundTimeout > 0
+
+	var (
+		shardStats = make([]CommStats, S)
+		fullW      = make([]float64, S)
+		shardDisp  = make([]float64, S)
+		alive      = make([]int, S)
+		meanBuf    = tensor.NewVec(len(theta))
+		prevTheta  tensor.Vec
+		base       CommStats // accounting restored from a resumed snapshot
+		own        CommStats // the director's round counters
+	)
+	for s, r := range ranges {
+		alive[s] = r.Hi - r.Lo
+	}
+	obsv := c.Observer
+	if obsv != nil {
+		prevTheta = make(tensor.Vec, len(theta))
+	}
+	// rootStats folds the three accounting layers: the resumed baseline,
+	// the director's own round counters, and the latest cumulative totals
+	// reported by each shard.
+	rootStats := func() CommStats {
+		out := base
+		out.add(own)
+		for s := range shardStats {
+			out.add(shardStats[s])
+		}
+		out.Rounds = base.Rounds + own.Rounds
+		out.SkippedRounds = base.SkippedRounds + own.SkippedRounds
+		return out
+	}
+	aliveTotal := func() int {
+		total := 0
+		for _, a := range alive {
+			total += a
+		}
+		return total
+	}
+
+	var (
+		iter       int
+		dispersion float64
+	)
+	t0 := c.T0
+	startRound := 1
+	ckEvery := c.CheckpointEvery
+	if ckEvery <= 0 {
+		ckEvery = 1
+	}
+	if c.CheckpointPath != "" && c.Resume {
+		st, err := checkpoint.LoadRunState(c.CheckpointPath)
+		switch {
+		case err == nil:
+			if len(st.Theta) != len(theta) {
+				return nil, stats, nil, fmt.Errorf("core: resume: snapshot has %d params, model needs %d", len(st.Theta), len(theta))
+			}
+			theta.CopyFrom(tensor.Vec(st.Theta))
+			iter = st.Iter
+			t0 = st.T0
+			dispersion = st.Dispersion
+			base = statsFromSnapshot(st)
+			startRound = st.Round + 1
+			logf("core: resumed from %s: round %d done, iter %d", c.CheckpointPath, st.Round, st.Iter)
+		case errors.Is(err, os.ErrNotExist):
+			// No snapshot yet: start fresh, so supervisors can always
+			// restart the director with Resume set.
+		default:
+			return nil, stats, nil, err
+		}
+	}
+
+	consecSkipped := 0
+	for round := startRound; iter < c.T; round++ {
+		t0 = nextT0(c, round, dispersion, t0, c.T-iter)
+		var roundT0 time.Time
+		if obsv != nil {
+			roundT0 = time.Now()
+			obsv.Observe(obs.Event{Type: obs.TypeRoundStart, Round: round, Iter: iter, T0: t0, Alive: aliveTotal()})
+		}
+
+		for s := range shards {
+			// θ is the director's reused aggregation buffer; ownership of
+			// Msg.Params transfers on Send, so each dispatch carries a clone.
+			m := transport.Msg{Kind: transport.KindParams, Round: round, Params: theta.Clone(), LocalSteps: t0}
+			if err := shards[s].Send(m); err != nil {
+				return nil, rootStats(), shardStats, fmt.Errorf("core: dispatch round %d to shard %d: %w", round, s, err)
+			}
+		}
+
+		merge.reset()
+		totalCount := 0
+		for s := range shards {
+			m, err := shards[s].Recv()
+			if err != nil {
+				return nil, rootStats(), shardStats, fmt.Errorf("core: gather round %d partial from shard %d: %w", round, s, err)
+			}
+			switch {
+			case m.Kind == transport.KindError:
+				return nil, rootStats(), shardStats, fmt.Errorf("core: shard %d failed in round %d: %s", s, round, m.Err)
+			case m.Kind != transport.KindPartial:
+				return nil, rootStats(), shardStats, fmt.Errorf("%w: expected partial, got %v from shard %d", ErrProtocol, m.Kind, s)
+			case m.Round != round:
+				return nil, rootStats(), shardStats, fmt.Errorf("%w: shard %d answered round %d during round %d", ErrProtocol, s, m.Round, round)
+			case m.Partial == nil:
+				return nil, rootStats(), shardStats, fmt.Errorf("%w: shard %d sent a partial without metadata", ErrProtocol, s)
+			}
+			p := m.Partial
+			shardStats[s] = statsOfShard(p.Stats)
+			fullW[s] = p.FullWeight
+			shardDisp[s] = p.Dispersion
+			alive[s] = p.Alive
+			if p.Count > 0 {
+				if len(m.Params) != len(theta) {
+					return nil, rootStats(), shardStats, fmt.Errorf("%w: shard %d partial has %d params, want %d", ErrProtocol, s, len(m.Params), len(theta))
+				}
+				merge.accept(s, tensor.Vec(m.Params), p.Weight)
+				totalCount += p.Count
+			}
+		}
+
+		sum, wsum := merge.reduce()
+		denom := wsum
+		if useHT {
+			denom = foldRangeScalars(ranges, 0, S, fullW)
+		}
+		if totalCount == 0 || denom <= 0 {
+			if ft {
+				own.SkippedRounds++
+				consecSkipped++
+				if obsv != nil {
+					obsv.Observe(obs.Event{Type: obs.TypeRoundSkip, Round: round, Iter: iter, T0: t0, Alive: aliveTotal(), Dur: time.Since(roundT0)})
+				}
+				logf("core: round %d produced no usable updates (%d alive); skipping aggregation", round, aliveTotal())
+				if consecSkipped > maxConsecutiveSkips {
+					return nil, rootStats(), shardStats, fmt.Errorf("core: %d consecutive rounds without usable updates (%d nodes alive)", consecSkipped, aliveTotal())
+				}
+				continue
+			}
+			return nil, rootStats(), shardStats, fmt.Errorf("core: round %d produced no usable updates (%d nodes alive)", round, aliveTotal())
+		}
+		consecSkipped = 0
+
+		if obsv != nil {
+			prevTheta.CopyFrom(theta)
+		}
+		sum.ScaleInto(1/denom, theta)
+		// The hierarchical dispersion proxy: each contributing shard's
+		// within-shard dispersion plus its aggregate's drift from the new
+		// global θ, weighted like the aggregation itself. It upper-bounds
+		// the flat per-update dispersion (triangle inequality) and feeds
+		// the same T0 controller.
+		dispersion = 0
+		for s := range shards {
+			if merge.sums[s] == nil || merge.wts[s] <= 0 {
+				continue
+			}
+			merge.sums[s].ScaleInto(1/merge.wts[s], meanBuf)
+			dispersion += merge.wts[s] / denom * (shardDisp[s] + meanBuf.Dist(theta))
+		}
+		iter += t0
+		own.Rounds++
+		if obsv != nil {
+			obsv.Observe(obs.Event{
+				Type: obs.TypeRoundEnd, Round: round, Iter: iter, T0: t0,
+				Alive: aliveTotal(), Dur: time.Since(roundT0),
+				Value: theta.Dist(prevTheta), Dispersion: dispersion,
+			})
+		}
+		if c.OnRound != nil {
+			c.OnRound(round, iter, theta)
+		}
+		if c.CheckpointPath != "" && (own.Rounds%ckEvery == 0 || iter >= c.T) {
+			if err := saveSnapshot(c.CheckpointPath, round, iter, t0, dispersion, theta, rootStats()); err != nil {
+				return nil, rootStats(), shardStats, err
+			}
+		}
+	}
+
+	for s := range shards {
+		if err := shards[s].Send(transport.Msg{Kind: transport.KindDone}); err != nil {
+			return nil, rootStats(), shardStats, fmt.Errorf("core: done to shard %d: %w", s, err)
+		}
+	}
+	return theta, rootStats(), shardStats, nil
+}
+
+// foldRangeScalars folds per-shard scalars over the shard-leaf slice [a, b)
+// with the merge recursion, so the result equals foldScalars over the
+// underlying global index range.
+func foldRangeScalars(ranges []ShardRange, a, b int, vals []float64) float64 {
+	if b-a == 1 {
+		return vals[a]
+	}
+	lo, hi := ranges[a].Lo, ranges[b-1].Hi
+	mid := lo + (hi-lo)/2
+	split := a + 1
+	for ranges[split].Lo != mid {
+		split++
+	}
+	return foldRangeScalars(ranges, a, split, vals) + foldRangeScalars(ranges, split, b, vals)
+}

@@ -1,0 +1,504 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/edgeai/fedml/internal/codec"
+	"github.com/edgeai/fedml/internal/obs"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+// This file is the link layer of the platform: everything that touches a
+// node-facing transport.Link — broadcast, probe, gather, codec chains,
+// suspect/rejoin bookkeeping — and the traffic billing that goes with it.
+// The flat platform and the leaf shard aggregator both drive their node
+// fleets through one linkSet, so the counter/event parity invariant (every
+// CommStats mutation mirrored as exactly one obs.Event, see billDown/billUp/
+// markSuspect/rejoin) holds for both by construction.
+
+// linkOps abstracts per-node I/O so the strict synchronous path and the
+// fault-tolerant (deadline-bounded) path share the round loop.
+type linkOps interface {
+	// send transmits with the full round deadline (strict: blocking).
+	send(i int, m transport.Msg) error
+	// trySend transmits with an explicit deadline (strict: blocking).
+	trySend(i int, m transport.Msg, d time.Duration) error
+	// recv waits for a message with an explicit deadline (strict: blocking).
+	recv(i int, d time.Duration) (transport.Msg, error)
+	// finish releases any resources the ops layer created.
+	finish()
+}
+
+// syncOps is the strict path: direct blocking I/O on the caller's links.
+type syncOps struct{ links []transport.Link }
+
+var _ linkOps = syncOps{}
+
+func (s syncOps) send(i int, m transport.Msg) error { return s.links[i].Send(m) }
+func (s syncOps) trySend(i int, m transport.Msg, _ time.Duration) error {
+	return s.links[i].Send(m)
+}
+func (s syncOps) recv(i int, _ time.Duration) (transport.Msg, error) { return s.links[i].Recv() }
+func (syncOps) finish()                                              {}
+
+// asyncOps is the fault-tolerant path: every link gets goroutine pumps and
+// every operation a deadline, so dead or slow nodes cannot stall a round.
+// Links of dropped nodes stay open so the platform can re-probe and re-admit
+// nodes that come back; everything is closed by finish.
+type asyncOps struct {
+	wrapped []*transport.Async
+	timeout time.Duration
+}
+
+var _ linkOps = (*asyncOps)(nil)
+
+func (a *asyncOps) send(i int, m transport.Msg) error {
+	return a.wrapped[i].TrySend(m, a.timeout)
+}
+
+func (a *asyncOps) trySend(i int, m transport.Msg, d time.Duration) error {
+	return a.wrapped[i].TrySend(m, d)
+}
+
+func (a *asyncOps) recv(i int, d time.Duration) (transport.Msg, error) {
+	return a.wrapped[i].TryRecv(d)
+}
+
+func (a *asyncOps) finish() {
+	for _, w := range a.wrapped {
+		_ = w.Close()
+	}
+}
+
+// linkSet owns the node-facing links of one aggregator (the whole federation
+// for the flat platform, one contiguous shard for a leaf aggregator) and all
+// per-link state: liveness, NodeID bindings, codec reference chains, and the
+// traffic/fault accounting.
+type linkSet struct {
+	c       Config // normalized
+	ops     linkOps
+	ft      bool
+	probeTO time.Duration
+	logf    func(format string, args ...any)
+
+	// base is the global node index of local link 0. Every reported index —
+	// obs events, log lines, error strings — is base+i, so per-shard streams
+	// stay distinguishable when merged. The flat platform uses base 0.
+	base int
+
+	alive    []bool
+	aliveCnt int
+	// expectID pins each link to the NodeID its first valid update claimed
+	// (-1 until bound); boundBy is the reverse map. Together they reject
+	// misrouted or duplicated updates that would otherwise aggregate
+	// silently under the wrong weight.
+	expectID []int
+	boundBy  map[int]int
+
+	stats CommStats
+	// obs, when non-nil, mirrors every stats mutation as a structured
+	// event (counter/event parity: the billing helpers below are the only
+	// places either side changes).
+	obs obs.RoundObserver
+
+	// codecSpec/down/up hold the update-compression state when Config.Codec
+	// selects a non-raw codec: one downlink encoder and one uplink decoder
+	// per link, so stateful codecs keep an independent reference chain per
+	// node. All three stay nil/empty for raw runs, preserving the
+	// allocation-free Params hot path.
+	codecSpec string
+	down      []codec.Codec
+	up        []codec.Codec
+}
+
+// newLinkSet builds the link layer over node links whose global indices
+// start at base. c must already be normalized and validated. The caller must
+// ls.finish() when the run ends.
+func newLinkSet(c Config, links []transport.Link, base int) *linkSet {
+	ft := c.RoundTimeout > 0
+	var ops linkOps = syncOps{links: links}
+	if ft {
+		wrapped := make([]*transport.Async, len(links))
+		for i, l := range links {
+			wrapped[i] = transport.NewAsync(l, 2)
+		}
+		ops = &asyncOps{wrapped: wrapped, timeout: c.RoundTimeout}
+	}
+	logf := c.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ls := &linkSet{
+		c:        c,
+		ops:      ops,
+		ft:       ft,
+		probeTO:  resolveProbeTimeout(c),
+		logf:     logf,
+		base:     base,
+		alive:    make([]bool, len(links)),
+		aliveCnt: len(links),
+		expectID: make([]int, len(links)),
+		boundBy:  make(map[int]int, len(links)),
+		obs:      c.Observer,
+	}
+	for i := range ls.alive {
+		ls.alive[i] = true
+		ls.expectID[i] = -1
+	}
+	if c.Codec != "" && c.Codec != codec.Raw {
+		// One encoder/decoder pair per link: stateful codecs track each
+		// node's reference chain independently. Validate caught bad specs.
+		ls.codecSpec = c.Codec
+		ls.down = make([]codec.Codec, len(links))
+		ls.up = make([]codec.Codec, len(links))
+		for i := range links {
+			ls.down[i], _ = codec.New(c.Codec)
+			ls.up[i], _ = codec.New(c.Codec)
+		}
+	}
+	return ls
+}
+
+// finish releases the I/O resources (async pumps in fault-tolerant mode).
+func (ls *linkSet) finish() { ls.ops.finish() }
+
+// wireBytes is the billed size of a parameter-bearing message: the encoded
+// payload when one is attached, 8 bytes per raw parameter otherwise.
+func wireBytes(m transport.Msg) int64 {
+	if len(m.Payload) > 0 {
+		return int64(len(m.Payload))
+	}
+	return int64(8 * len(m.Params))
+}
+
+// paramsMsg builds the KindParams message carrying theta to link i.
+// Raw runs ship a clone of theta (ownership transfers on Send); codec runs
+// encode through link i's downlink encoder. resync restarts the link's
+// reference chains first, so the message is guaranteed to be a full payload
+// any decoder state can accept — the recovery offer sent with every probe.
+func (ls *linkSet) paramsMsg(theta tensor.Vec, i, round, t0 int, resync bool) (transport.Msg, error) {
+	m := transport.Msg{Kind: transport.KindParams, Round: round, LocalSteps: t0}
+	if ls.down == nil {
+		m.Params = theta.Clone()
+		return m, nil
+	}
+	if resync {
+		ls.resyncLink(i)
+	}
+	payload, err := ls.down[i].Encode(theta)
+	if err != nil {
+		return transport.Msg{}, fmt.Errorf("core: encode broadcast for node %d: %w", ls.base+i, err)
+	}
+	m.Codec = ls.codecSpec
+	m.Payload = payload
+	return m, nil
+}
+
+// resyncLink drops link i's codec reference chains, forcing the next
+// downlink message to be a full payload and priming the uplink decoder to
+// accept the full reply it triggers. No-op for raw runs.
+func (ls *linkSet) resyncLink(i int) {
+	if ls.down == nil {
+		return
+	}
+	ls.down[i].Reset()
+	ls.up[i].Reset()
+}
+
+// decodeUp expands the compressed update carried by msg through link i's
+// uplink decoder, filling msg.Params in place. Every failure wraps
+// errDecode so the round loop can tell wire damage from protocol abuse.
+func (ls *linkSet) decodeUp(i int, msg *transport.Msg) error {
+	if ls.up == nil || msg.Codec != ls.codecSpec {
+		return fmt.Errorf("%w: node %d sent codec %q, platform expects %q", errDecode, ls.base+i, msg.Codec, ls.codecSpec)
+	}
+	params, err := ls.up[i].Decode(msg.Payload)
+	if err != nil {
+		return fmt.Errorf("%w: node %d: %v", errDecode, ls.base+i, err)
+	}
+	msg.Params = params
+	return nil
+}
+
+// errDecode marks a delivered update whose payload could not be decoded —
+// wire corruption or a broken codec reference chain. Fault-tolerant rounds
+// treat it like a sanitation reject (bill, discard, resync the link);
+// strict rounds abort.
+var errDecode = errors.New("core: undecodable update payload")
+
+// billDown accounts one downlink (platform→node) parameter message of
+// nBytes wire bytes, billed on the attempted send — the transport cannot
+// tell delivered from lost (see CommStats.Messages).
+func (ls *linkSet) billDown(node, round int, probe bool, nBytes int64) {
+	ls.stats.Messages++
+	ls.stats.Bytes += nBytes
+	if ls.obs != nil {
+		t := obs.TypeBroadcast
+		if probe {
+			t = obs.TypeProbe
+		}
+		ls.obs.Observe(obs.Event{Type: t, Round: round, Node: ls.base + node, Bytes: nBytes})
+	}
+}
+
+// billUp accounts one delivered uplink (node→platform) update message.
+func (ls *linkSet) billUp(node, round int, nBytes int64) {
+	ls.stats.Messages++
+	ls.stats.Bytes += nBytes
+	if ls.obs != nil {
+		ls.obs.Observe(obs.Event{Type: obs.TypeUpdate, Round: round, Node: ls.base + node, Bytes: nBytes})
+	}
+}
+
+// markSuspect removes node i from the active set. In fault-tolerant mode the
+// link stays open and the node is re-probed every following round.
+func (ls *linkSet) markSuspect(i, round int, cause error) {
+	if !ls.alive[i] {
+		return
+	}
+	ls.alive[i] = false
+	ls.aliveCnt--
+	ls.stats.Dropped++
+	// The node may have missed any number of messages while unreachable, so
+	// its codec reference chains are unusable until a full resync.
+	ls.resyncLink(i)
+	if ls.obs != nil {
+		ls.obs.Observe(obs.Event{Type: obs.TypeDrop, Round: round, Node: ls.base + i, Alive: ls.aliveCnt, Cause: cause.Error()})
+	}
+	ls.logf("core: dropped node %d in round %d (%d alive): %v", ls.base+i, round, ls.aliveCnt, cause)
+}
+
+// rejoin re-admits a suspect node that answered a re-probe.
+func (ls *linkSet) rejoin(i, round int) {
+	ls.alive[i] = true
+	ls.aliveCnt++
+	ls.stats.Rejoined++
+	if ls.obs != nil {
+		ls.obs.Observe(obs.Event{Type: obs.TypeRejoin, Round: round, Node: ls.base + i, Alive: ls.aliveCnt})
+	}
+	ls.logf("core: node %d rejoined in round %d (%d alive)", ls.base+i, round, ls.aliveCnt)
+}
+
+// bindNodeID validates the claimed NodeID of an update from link i against
+// the binding learned from that link's first update.
+func (ls *linkSet) bindNodeID(i, id int) error {
+	if prev := ls.expectID[i]; prev >= 0 {
+		if id != prev {
+			return fmt.Errorf("%w: link %d update claims node %d, but the link is bound to node %d", ErrProtocol, ls.base+i, id, prev)
+		}
+		return nil
+	}
+	if other, taken := ls.boundBy[id]; taken && other != i {
+		return fmt.Errorf("%w: node id %d claimed by links %d and %d (misrouted or duplicated update)", ErrProtocol, id, ls.base+other, ls.base+i)
+	}
+	ls.expectID[i] = id
+	ls.boundBy[id] = i
+	return nil
+}
+
+// gatherFrom waits up to d for link i's update to the given round,
+// validating protocol shape and NodeID binding. In fault-tolerant mode it
+// drains stale answers to earlier rounds (late replies from a node that
+// was dropped and is coming back) instead of treating them as violations.
+func (ls *linkSet) gatherFrom(i, round, dim int, d time.Duration) (transport.Msg, error) {
+	deadline := time.Now().Add(d)
+	for {
+		remain := d
+		if ls.ft {
+			remain = time.Until(deadline)
+			if remain <= 0 {
+				return transport.Msg{}, fmt.Errorf("core: gather round %d from node %d: %w", round, ls.base+i, transport.ErrTimeout)
+			}
+		}
+		msg, err := ls.ops.recv(i, remain)
+		if err != nil {
+			return transport.Msg{}, fmt.Errorf("core: gather round %d from node %d: %w", round, ls.base+i, err)
+		}
+		switch {
+		case msg.Kind == transport.KindError:
+			return transport.Msg{}, fmt.Errorf("core: node %d failed in round %d: %s", msg.NodeID, round, msg.Err)
+		case msg.Kind != transport.KindUpdate:
+			return transport.Msg{}, fmt.Errorf("%w: expected update, got %v from node %d", ErrProtocol, msg.Kind, ls.base+i)
+		}
+		if msg.Round != round {
+			if ls.ft && msg.Round < round {
+				ls.logf("core: discarding stale round-%d update from link %d during round %d", msg.Round, ls.base+i, round)
+				continue
+			}
+			return transport.Msg{}, fmt.Errorf("%w: node %d answered round %d during round %d", ErrProtocol, ls.base+i, msg.Round, round)
+		}
+		if msg.Codec != "" || len(msg.Payload) > 0 {
+			// The message is returned alongside the error so the caller can
+			// bill the bytes that did cross the wire.
+			if err := ls.decodeUp(i, &msg); err != nil {
+				return msg, err
+			}
+			if len(msg.Params) != dim {
+				return msg, fmt.Errorf("%w: node %d payload decoded to %d params, want %d", errDecode, ls.base+i, len(msg.Params), dim)
+			}
+		} else if len(msg.Params) != dim {
+			return transport.Msg{}, fmt.Errorf("%w: node %d sent %d params, want %d", ErrProtocol, ls.base+i, len(msg.Params), dim)
+		}
+		if err := ls.bindNodeID(i, msg.NodeID); err != nil {
+			return transport.Msg{}, err
+		}
+		return msg, nil
+	}
+}
+
+// gatherRound runs one node-facing round: broadcast theta (with step count
+// t0) to the selected alive links, re-probe suspects, gather the replies,
+// and vet each one through decode + sanitation. Every surviving update is
+// handed to accept with its local link index; rejected updates are billed
+// and counted but never reach accept. A non-nil error means the run must
+// abort (strict-mode failure, or the alive count fell below MinNodes).
+//
+// selected holds local link indices, already filtered to alive nodes. The
+// suspect re-probe path runs regardless of selection — probing is liveness
+// maintenance, not participation, so a suspect is probed exactly once per
+// round whether or not the sampler would have picked it.
+func (ls *linkSet) gatherRound(round, t0 int, theta tensor.Vec, selected []int, accept func(i int, u tensor.Vec)) error {
+	roundNodes := make([]int, 0, len(selected))
+	for _, i := range selected {
+		// Ownership of Msg.Params/Payload transfers to the receiver on
+		// Send (see transport.Msg). theta is the caller's reusable
+		// aggregation buffer — and in fault-tolerant mode the async
+		// pump may deliver the message after this round's aggregation
+		// has overwritten it — so every broadcast carries its own copy
+		// (a clone when raw, a freshly encoded payload otherwise).
+		m, err := ls.paramsMsg(theta, i, round, t0, false)
+		if err != nil {
+			return err
+		}
+		nBytes := wireBytes(m)
+		if err := ls.ops.send(i, m); err != nil {
+			if ls.ft {
+				ls.markSuspect(i, round, err)
+				continue
+			}
+			return fmt.Errorf("core: broadcast round %d to node %d: %w", round, ls.base+i, err)
+		}
+		roundNodes = append(roundNodes, i)
+		ls.billDown(i, round, false, nBytes)
+	}
+
+	// Re-probe suspects with the current θ: a dropped node that has
+	// recovered answers like any other and rejoins below. Every probe
+	// resyncs the link's codec chains first — an unanswered probe must
+	// not advance the reference a revived node has never seen.
+	var probeNodes []int
+	if ls.ft {
+		for i := range ls.alive {
+			if ls.alive[i] {
+				continue
+			}
+			m, err := ls.paramsMsg(theta, i, round, t0, true)
+			if err != nil {
+				return err
+			}
+			nBytes := wireBytes(m)
+			if err := ls.ops.trySend(i, m, ls.probeTO); err != nil {
+				continue
+			}
+			probeNodes = append(probeNodes, i)
+			ls.billDown(i, round, true, nBytes)
+		}
+	}
+
+	thetaNorm := theta.Norm()
+	deliver := func(i int, msg transport.Msg) {
+		// The message crossed the wire either way; account for it even
+		// when the sanitation guard discards the payload.
+		ls.billUp(i, round, wireBytes(msg))
+		if err := sanitize(tensor.Vec(msg.Params), theta, thetaNorm, ls.c.GuardRadius); err != nil {
+			ls.stats.Rejected++
+			if ls.obs != nil {
+				ls.obs.Observe(obs.Event{Type: obs.TypeReject, Round: round, Node: ls.base + i, Cause: err.Error()})
+			}
+			ls.logf("core: rejected update from node %d in round %d: %v", ls.base+i, round, err)
+			return
+		}
+		accept(i, tensor.Vec(msg.Params))
+	}
+	for _, i := range roundNodes {
+		msg, err := ls.gatherFrom(i, round, len(theta), ls.c.RoundTimeout)
+		if err != nil {
+			if ls.ft && errors.Is(err, errDecode) {
+				// Delivered but undecodable (wire corruption or a broken
+				// reference chain): bill the bytes that arrived, discard
+				// like a sanitation reject, and force a full resync so
+				// the next exchange re-establishes the chain. The node
+				// stays in the federation.
+				ls.billUp(i, round, wireBytes(msg))
+				ls.stats.Rejected++
+				if ls.obs != nil {
+					ls.obs.Observe(obs.Event{Type: obs.TypeReject, Round: round, Node: ls.base + i, Cause: err.Error()})
+				}
+				ls.resyncLink(i)
+				ls.logf("core: rejected update from node %d in round %d: %v", ls.base+i, round, err)
+				continue
+			}
+			if ls.ft {
+				ls.markSuspect(i, round, err)
+				continue
+			}
+			return err
+		}
+		if !ls.ft {
+			// Strict mode: a poisoned update aborts the run instead of
+			// degrading it.
+			if err := sanitize(tensor.Vec(msg.Params), theta, thetaNorm, ls.c.GuardRadius); err != nil {
+				return fmt.Errorf("core: node %d round %d: %v", ls.base+i, round, err)
+			}
+		}
+		deliver(i, msg)
+	}
+	for _, i := range probeNodes {
+		msg, err := ls.gatherFrom(i, round, len(theta), ls.probeTO)
+		if err != nil {
+			continue // still unreachable; stays suspect
+		}
+		ls.rejoin(i, round)
+		deliver(i, msg)
+	}
+
+	if min := ls.minNodes(); ls.aliveCnt < min {
+		return fmt.Errorf("core: only %d nodes alive, below MinNodes=%d", ls.aliveCnt, min)
+	}
+	return nil
+}
+
+// minNodes resolves the abort threshold for fault-tolerant runs.
+func (ls *linkSet) minNodes() int {
+	if ls.c.MinNodes == 0 {
+		return 1
+	}
+	return ls.c.MinNodes
+}
+
+// shutdown tells every node training is over. Failures here are not drops —
+// training is already complete — so they are logged under a named phase and
+// excluded from the Dropped count.
+func (ls *linkSet) shutdown() error {
+	for i := range ls.alive {
+		if !ls.alive[i] {
+			if ls.ft {
+				// Best-effort farewell so a node that revives later exits
+				// cleanly instead of waiting for a round that never comes.
+				_ = ls.ops.trySend(i, transport.Msg{Kind: transport.KindDone}, ls.probeTO)
+			}
+			continue
+		}
+		if err := ls.ops.send(i, transport.Msg{Kind: transport.KindDone}); err != nil {
+			if ls.ft {
+				ls.logf("core: shutdown: done to node %d failed: %v", ls.base+i, err)
+				continue
+			}
+			return fmt.Errorf("core: done to node %d: %w", ls.base+i, err)
+		}
+	}
+	return nil
+}

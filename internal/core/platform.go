@@ -3,15 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 	"os"
-	"sort"
 	"time"
 
 	"github.com/edgeai/fedml/internal/checkpoint"
-	"github.com/edgeai/fedml/internal/codec"
 	"github.com/edgeai/fedml/internal/obs"
-	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 	"github.com/edgeai/fedml/internal/transport"
 )
@@ -46,324 +42,15 @@ type CommStats struct {
 	SkippedRounds int
 }
 
-// maxConsecutiveSkips bounds how many rounds in a row the fault-tolerant
-// platform tolerates without a single usable update before giving up.
-const maxConsecutiveSkips = 8
-
-// linkOps abstracts per-node I/O so the strict synchronous path and the
-// fault-tolerant (deadline-bounded) path share the round loop.
-type linkOps interface {
-	// send transmits with the full round deadline (strict: blocking).
-	send(i int, m transport.Msg) error
-	// trySend transmits with an explicit deadline (strict: blocking).
-	trySend(i int, m transport.Msg, d time.Duration) error
-	// recv waits for a message with an explicit deadline (strict: blocking).
-	recv(i int, d time.Duration) (transport.Msg, error)
-	// finish releases any resources the ops layer created.
-	finish()
-}
-
-// syncOps is the strict path: direct blocking I/O on the caller's links.
-type syncOps struct{ links []transport.Link }
-
-var _ linkOps = syncOps{}
-
-func (s syncOps) send(i int, m transport.Msg) error { return s.links[i].Send(m) }
-func (s syncOps) trySend(i int, m transport.Msg, _ time.Duration) error {
-	return s.links[i].Send(m)
-}
-func (s syncOps) recv(i int, _ time.Duration) (transport.Msg, error) { return s.links[i].Recv() }
-func (syncOps) finish()                                              {}
-
-// asyncOps is the fault-tolerant path: every link gets goroutine pumps and
-// every operation a deadline, so dead or slow nodes cannot stall a round.
-// Links of dropped nodes stay open so the platform can re-probe and re-admit
-// nodes that come back; everything is closed by finish.
-type asyncOps struct {
-	wrapped []*transport.Async
-	timeout time.Duration
-}
-
-var _ linkOps = (*asyncOps)(nil)
-
-func (a *asyncOps) send(i int, m transport.Msg) error {
-	return a.wrapped[i].TrySend(m, a.timeout)
-}
-
-func (a *asyncOps) trySend(i int, m transport.Msg, d time.Duration) error {
-	return a.wrapped[i].TrySend(m, d)
-}
-
-func (a *asyncOps) recv(i int, d time.Duration) (transport.Msg, error) {
-	return a.wrapped[i].TryRecv(d)
-}
-
-func (a *asyncOps) finish() {
-	for _, w := range a.wrapped {
-		_ = w.Close()
-	}
-}
-
-// platformRun carries the mutable state of one RunPlatform execution.
-type platformRun struct {
-	c       Config
-	ops     linkOps
-	ft      bool
-	probeTO time.Duration
-	logf    func(format string, args ...any)
-
-	theta    tensor.Vec
-	alive    []bool
-	aliveCnt int
-	// expectID pins each link to the NodeID its first valid update claimed
-	// (-1 until bound); boundBy is the reverse map. Together they reject
-	// misrouted or duplicated updates that would otherwise aggregate
-	// silently under the wrong weight.
-	expectID []int
-	boundBy  map[int]int
-
-	stats CommStats
-	// obs, when non-nil, mirrors every stats mutation as a structured
-	// event (counter/event parity: the billing helpers below are the only
-	// places either side changes). prevTheta is the pre-aggregation θ
-	// snapshot used to report the update norm; it is only allocated when
-	// an observer is attached, keeping the nil path allocation-free.
-	obs       obs.RoundObserver
-	prevTheta tensor.Vec
-
-	// codecSpec/down/up hold the update-compression state when Config.Codec
-	// selects a non-raw codec: one downlink encoder and one uplink decoder
-	// per link, so stateful codecs keep an independent reference chain per
-	// node. All three stay nil/empty for raw runs, preserving the
-	// allocation-free Params hot path.
-	codecSpec string
-	down      []codec.Codec
-	up        []codec.Codec
-}
-
-// wireBytes is the billed size of a parameter-bearing message: the encoded
-// payload when one is attached, 8 bytes per raw parameter otherwise.
-func wireBytes(m transport.Msg) int64 {
-	if len(m.Payload) > 0 {
-		return int64(len(m.Payload))
-	}
-	return int64(8 * len(m.Params))
-}
-
-// paramsMsg builds the KindParams message carrying the current θ to link i.
-// Raw runs ship a clone of θ (ownership transfers on Send); codec runs
-// encode through link i's downlink encoder. resync restarts the link's
-// reference chains first, so the message is guaranteed to be a full payload
-// any decoder state can accept — the recovery offer sent with every probe.
-func (p *platformRun) paramsMsg(i, round, t0 int, resync bool) (transport.Msg, error) {
-	m := transport.Msg{Kind: transport.KindParams, Round: round, LocalSteps: t0}
-	if p.down == nil {
-		m.Params = p.theta.Clone()
-		return m, nil
-	}
-	if resync {
-		p.resyncLink(i)
-	}
-	payload, err := p.down[i].Encode(p.theta)
-	if err != nil {
-		return transport.Msg{}, fmt.Errorf("core: encode broadcast for node %d: %w", i, err)
-	}
-	m.Codec = p.codecSpec
-	m.Payload = payload
-	return m, nil
-}
-
-// resyncLink drops link i's codec reference chains, forcing the next
-// downlink message to be a full payload and priming the uplink decoder to
-// accept the full reply it triggers. No-op for raw runs.
-func (p *platformRun) resyncLink(i int) {
-	if p.down == nil {
-		return
-	}
-	p.down[i].Reset()
-	p.up[i].Reset()
-}
-
-// decodeUp expands the compressed update carried by msg through link i's
-// uplink decoder, filling msg.Params in place. Every failure wraps
-// errDecode so the round loop can tell wire damage from protocol abuse.
-func (p *platformRun) decodeUp(i int, msg *transport.Msg) error {
-	if p.up == nil || msg.Codec != p.codecSpec {
-		return fmt.Errorf("%w: node %d sent codec %q, platform expects %q", errDecode, i, msg.Codec, p.codecSpec)
-	}
-	params, err := p.up[i].Decode(msg.Payload)
-	if err != nil {
-		return fmt.Errorf("%w: node %d: %v", errDecode, i, err)
-	}
-	msg.Params = params
-	return nil
-}
-
-// errDecode marks a delivered update whose payload could not be decoded —
-// wire corruption or a broken codec reference chain. Fault-tolerant rounds
-// treat it like a sanitation reject (bill, discard, resync the link);
-// strict rounds abort.
-var errDecode = errors.New("core: undecodable update payload")
-
-// billDown accounts one downlink (platform→node) parameter message of
-// nBytes wire bytes, billed on the attempted send — the transport cannot
-// tell delivered from lost (see CommStats.Messages).
-func (p *platformRun) billDown(node, round int, probe bool, nBytes int64) {
-	p.stats.Messages++
-	p.stats.Bytes += nBytes
-	if p.obs != nil {
-		t := obs.TypeBroadcast
-		if probe {
-			t = obs.TypeProbe
-		}
-		p.obs.Observe(obs.Event{Type: t, Round: round, Node: node, Bytes: nBytes})
-	}
-}
-
-// billUp accounts one delivered uplink (node→platform) update message.
-func (p *platformRun) billUp(node, round int, nBytes int64) {
-	p.stats.Messages++
-	p.stats.Bytes += nBytes
-	if p.obs != nil {
-		p.obs.Observe(obs.Event{Type: obs.TypeUpdate, Round: round, Node: node, Bytes: nBytes})
-	}
-}
-
-// markSuspect removes node i from the active set. In fault-tolerant mode the
-// link stays open and the node is re-probed every following round.
-func (p *platformRun) markSuspect(i, round int, cause error) {
-	if !p.alive[i] {
-		return
-	}
-	p.alive[i] = false
-	p.aliveCnt--
-	p.stats.Dropped++
-	// The node may have missed any number of messages while unreachable, so
-	// its codec reference chains are unusable until a full resync.
-	p.resyncLink(i)
-	if p.obs != nil {
-		p.obs.Observe(obs.Event{Type: obs.TypeDrop, Round: round, Node: i, Alive: p.aliveCnt, Cause: cause.Error()})
-	}
-	p.logf("core: dropped node %d in round %d (%d alive): %v", i, round, p.aliveCnt, cause)
-}
-
-// rejoin re-admits a suspect node that answered a re-probe.
-func (p *platformRun) rejoin(i, round int) {
-	p.alive[i] = true
-	p.aliveCnt++
-	p.stats.Rejoined++
-	if p.obs != nil {
-		p.obs.Observe(obs.Event{Type: obs.TypeRejoin, Round: round, Node: i, Alive: p.aliveCnt})
-	}
-	p.logf("core: node %d rejoined in round %d (%d alive)", i, round, p.aliveCnt)
-}
-
-// bindNodeID validates the claimed NodeID of an update from link i against
-// the binding learned from that link's first update.
-func (p *platformRun) bindNodeID(i, id int) error {
-	if prev := p.expectID[i]; prev >= 0 {
-		if id != prev {
-			return fmt.Errorf("%w: link %d update claims node %d, but the link is bound to node %d", ErrProtocol, i, id, prev)
-		}
-		return nil
-	}
-	if other, taken := p.boundBy[id]; taken && other != i {
-		return fmt.Errorf("%w: node id %d claimed by links %d and %d (misrouted or duplicated update)", ErrProtocol, id, other, i)
-	}
-	p.expectID[i] = id
-	p.boundBy[id] = i
-	return nil
-}
-
-// gatherFrom waits up to d for link i's update to the given round,
-// validating protocol shape and NodeID binding. In fault-tolerant mode it
-// drains stale answers to earlier rounds (late replies from a node that
-// was dropped and is coming back) instead of treating them as violations.
-func (p *platformRun) gatherFrom(i, round int, d time.Duration) (transport.Msg, error) {
-	deadline := time.Now().Add(d)
-	for {
-		remain := d
-		if p.ft {
-			remain = time.Until(deadline)
-			if remain <= 0 {
-				return transport.Msg{}, fmt.Errorf("core: gather round %d from node %d: %w", round, i, transport.ErrTimeout)
-			}
-		}
-		msg, err := p.ops.recv(i, remain)
-		if err != nil {
-			return transport.Msg{}, fmt.Errorf("core: gather round %d from node %d: %w", round, i, err)
-		}
-		switch {
-		case msg.Kind == transport.KindError:
-			return transport.Msg{}, fmt.Errorf("core: node %d failed in round %d: %s", msg.NodeID, round, msg.Err)
-		case msg.Kind != transport.KindUpdate:
-			return transport.Msg{}, fmt.Errorf("%w: expected update, got %v from node %d", ErrProtocol, msg.Kind, i)
-		}
-		if msg.Round != round {
-			if p.ft && msg.Round < round {
-				p.logf("core: discarding stale round-%d update from link %d during round %d", msg.Round, i, round)
-				continue
-			}
-			return transport.Msg{}, fmt.Errorf("%w: node %d answered round %d during round %d", ErrProtocol, i, msg.Round, round)
-		}
-		if msg.Codec != "" || len(msg.Payload) > 0 {
-			// The message is returned alongside the error so the caller can
-			// bill the bytes that did cross the wire.
-			if err := p.decodeUp(i, &msg); err != nil {
-				return msg, err
-			}
-			if len(msg.Params) != len(p.theta) {
-				return msg, fmt.Errorf("%w: node %d payload decoded to %d params, want %d", errDecode, i, len(msg.Params), len(p.theta))
-			}
-		} else if len(msg.Params) != len(p.theta) {
-			return transport.Msg{}, fmt.Errorf("%w: node %d sent %d params, want %d", ErrProtocol, i, len(msg.Params), len(p.theta))
-		}
-		if err := p.bindNodeID(i, msg.NodeID); err != nil {
-			return transport.Msg{}, err
-		}
-		return msg, nil
-	}
-}
-
-// sanitize vets a gathered update against the round's broadcast θ: updates
-// carrying NaN/Inf, or drifting further from θ than the guard radius allows,
-// are poison (wire corruption, a diverged node) and must not reach the
-// aggregation. thetaNorm is ‖θ‖, precomputed once per round.
-func (p *platformRun) sanitize(u tensor.Vec, thetaNorm float64) error {
-	if !u.IsFinite() {
-		return errors.New("update contains NaN or Inf")
-	}
-	if g := p.c.GuardRadius; g > 0 {
-		limit := g * (1 + thetaNorm)
-		if d := u.Dist(p.theta); d > limit {
-			return fmt.Errorf("update distance %.4g from θ exceeds guard limit %.4g", d, limit)
-		}
-	}
-	return nil
-}
-
-// snapshot persists the post-aggregation state of a round for crash
-// recovery.
-func (p *platformRun) snapshot(round, iter, t0 int, dispersion float64) error {
-	st := &checkpoint.RunState{
-		Version:       checkpoint.RunStateVersion,
-		Round:         round,
-		Iter:          iter,
-		T0:            t0,
-		Dispersion:    dispersion,
-		Theta:         append([]float64(nil), p.theta...),
-		Rounds:        p.stats.Rounds,
-		Messages:      p.stats.Messages,
-		Bytes:         p.stats.Bytes,
-		Dropped:       p.stats.Dropped,
-		Rejoined:      p.stats.Rejoined,
-		Rejected:      p.stats.Rejected,
-		SkippedRounds: p.stats.SkippedRounds,
-	}
-	if err := checkpoint.SaveRunState(p.c.CheckpointPath, st); err != nil {
-		return fmt.Errorf("core: checkpoint round %d: %w", round, err)
-	}
-	return nil
+// add accumulates other into s field by field.
+func (s *CommStats) add(other CommStats) {
+	s.Rounds += other.Rounds
+	s.Messages += other.Messages
+	s.Bytes += other.Bytes
+	s.Dropped += other.Dropped
+	s.Rejoined += other.Rejoined
+	s.Rejected += other.Rejected
+	s.SkippedRounds += other.SkippedRounds
 }
 
 // RunPlatform executes the platform side of Algorithms 1/2: broadcast the
@@ -371,6 +58,13 @@ func (p *platformRun) snapshot(round, iter, t0 int, dispersion float64) error {
 // local updates, and aggregate with the data-size weights (Eq. 5),
 // renormalized over the responders. links[i] must connect to the node
 // carrying weight weights[i]; theta0 is not modified.
+//
+// RunPlatform is the one-shard degenerate case of the layered architecture:
+// one linkSet (link layer) feeding one aggCore (aggregation core) covering
+// the whole index space [0, n), steered by the policy layer. RunDirector
+// composes the same layers into a two-tier topology; both produce
+// bit-identical aggregates because every sum follows the aggregation core's
+// fixed merge rule (see aggcore.go).
 //
 // With cfg.RoundTimeout > 0 the platform runs fault-tolerant rounds: it
 // takes ownership of the links (they are closed when training ends), and a
@@ -404,66 +98,39 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		return nil, stats, fmt.Errorf("core: aggregation weights sum to %v", wsum)
 	}
 
-	ft := c.RoundTimeout > 0
-	minNodes := c.MinNodes
-	if minNodes == 0 {
-		minNodes = 1
-	}
-	var ops linkOps = syncOps{links: links}
-	if ft {
-		wrapped := make([]*transport.Async, len(links))
-		for i, l := range links {
-			wrapped[i] = transport.NewAsync(l, 2)
-		}
-		a := &asyncOps{wrapped: wrapped, timeout: c.RoundTimeout}
-		defer a.finish()
-		ops = a
-	}
-	probeTO := c.ProbeTimeout
-	if probeTO <= 0 {
-		probeTO = c.RoundTimeout / 4
-	}
-	if probeTO < time.Millisecond {
-		probeTO = time.Millisecond
-	}
 	logf := c.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	ls := newLinkSet(c, links, 0)
+	defer ls.finish()
 
-	p := &platformRun{
-		c:        c,
-		ops:      ops,
-		ft:       ft,
-		probeTO:  probeTO,
-		logf:     logf,
-		theta:    theta0.Clone(),
-		alive:    make([]bool, len(links)),
-		aliveCnt: len(links),
-		expectID: make([]int, len(links)),
-		boundBy:  make(map[int]int, len(links)),
-		obs:      c.Observer,
-	}
-	for i := range p.alive {
-		p.alive[i] = true
-		p.expectID[i] = -1
-	}
-	if p.obs != nil {
-		p.prevTheta = make(tensor.Vec, len(p.theta))
-	}
-	if c.Codec != "" && c.Codec != codec.Raw {
-		// One encoder/decoder pair per link: stateful codecs track each
-		// node's reference chain independently. Validate caught bad specs.
-		p.codecSpec = c.Codec
-		p.down = make([]codec.Codec, len(links))
-		p.up = make([]codec.Codec, len(links))
-		for i := range links {
-			p.down[i], _ = codec.New(c.Codec)
-			p.up[i], _ = codec.New(c.Codec)
-		}
+	theta := theta0.Clone()
+	agg := newAggCore(0, len(links), len(theta))
+	selector := newParticipationSelector(c, len(links), 0)
+	pi := selector.inclusionProb()
+	// The unbiased correction divides each sampled weight by its inclusion
+	// probability and normalizes by the full-participation weight sum, so
+	// the aggregate is unbiased over the sampling distribution instead of
+	// renormalized over whoever responded. It engages only when sampling is
+	// active; under full participation both estimators coincide and the
+	// responder renormalization keeps its fault-tolerance semantics. The
+	// denominator is folded with the merge rule so flat and sharded runs
+	// stay bit-identical.
+	useHT := c.UnbiasedParticipation && c.samplingActive()
+	var htDenom float64
+	if useHT {
+		htDenom = foldScalars(0, len(links), func(i int) float64 { return weights[i] })
 	}
 
-	selector := newParticipationSelector(c, len(links))
+	// prevTheta is the pre-aggregation θ snapshot used to report the update
+	// norm; it is only allocated when an observer is attached, keeping the
+	// nil path allocation-free.
+	var prevTheta tensor.Vec
+	if ls.obs != nil {
+		prevTheta = make(tensor.Vec, len(theta))
+	}
+
 	var (
 		iter       int
 		dispersion float64
@@ -478,18 +145,14 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		st, err := checkpoint.LoadRunState(c.CheckpointPath)
 		switch {
 		case err == nil:
-			if len(st.Theta) != len(p.theta) {
-				return nil, stats, fmt.Errorf("core: resume: snapshot has %d params, model needs %d", len(st.Theta), len(p.theta))
+			if len(st.Theta) != len(theta) {
+				return nil, stats, fmt.Errorf("core: resume: snapshot has %d params, model needs %d", len(st.Theta), len(theta))
 			}
-			p.theta.CopyFrom(tensor.Vec(st.Theta))
+			theta.CopyFrom(tensor.Vec(st.Theta))
 			iter = st.Iter
 			t0 = st.T0
 			dispersion = st.Dispersion
-			p.stats = CommStats{
-				Rounds: st.Rounds, Messages: st.Messages, Bytes: st.Bytes,
-				Dropped: st.Dropped, Rejoined: st.Rejoined, Rejected: st.Rejected,
-				SkippedRounds: st.SkippedRounds,
-			}
+			ls.stats = statsFromSnapshot(st)
 			startRound = st.Round + 1
 			logf("core: resumed from %s: round %d done, iter %d", c.CheckpointPath, st.Round, st.Iter)
 		case errors.Is(err, os.ErrNotExist):
@@ -502,254 +165,78 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 
 	consecSkipped := 0
 	for round := startRound; iter < c.T; round++ {
-		if c.T0Controller != nil && round > 1 {
-			t0 = c.T0Controller(round, dispersion, t0)
-			if t0 < 1 {
-				t0 = 1
-			}
-		}
-		if remaining := c.T - iter; t0 > remaining {
-			t0 = remaining
-		}
+		t0 = nextT0(c, round, dispersion, t0, c.T-iter)
 		var roundT0 time.Time
-		if p.obs != nil {
+		if ls.obs != nil {
 			roundT0 = time.Now()
-			p.obs.Observe(obs.Event{Type: obs.TypeRoundStart, Round: round, Iter: iter, T0: t0, Alive: p.aliveCnt})
+			ls.obs.Observe(obs.Event{Type: obs.TypeRoundStart, Round: round, Iter: iter, T0: t0, Alive: ls.aliveCnt})
 		}
 
-		selected := make([]int, 0, len(links))
-		for _, i := range selector.pick() {
-			if p.alive[i] {
-				selected = append(selected, i)
+		selected := selector.selectAlive(round, ls.alive)
+		agg.reset()
+		if err := ls.gatherRound(round, t0, theta, selected, func(i int, u tensor.Vec) {
+			w := weights[i]
+			if useHT {
+				w /= pi
 			}
-		}
-		if len(selected) == 0 {
-			// The sample missed every alive node; fall back to all of them.
-			for i := range p.alive {
-				if p.alive[i] {
-					selected = append(selected, i)
-				}
-			}
+			agg.accept(i, u, w)
+		}); err != nil {
+			return nil, ls.stats, err
 		}
 
-		roundNodes := selected[:0:len(selected)]
-		for _, i := range selected {
-			// Ownership of Msg.Params/Payload transfers to the receiver on
-			// Send (see transport.Msg). theta is the platform's reusable
-			// aggregation buffer — and in fault-tolerant mode the async
-			// pump may deliver the message after this round's aggregation
-			// has overwritten it — so every broadcast carries its own copy
-			// (a clone when raw, a freshly encoded payload otherwise).
-			m, err := p.paramsMsg(i, round, t0, false)
-			if err != nil {
-				return nil, p.stats, err
-			}
-			nBytes := wireBytes(m)
-			if err := ops.send(i, m); err != nil {
-				if ft {
-					p.markSuspect(i, round, err)
-					continue
-				}
-				return nil, p.stats, fmt.Errorf("core: broadcast round %d to node %d: %w", round, i, err)
-			}
-			roundNodes = append(roundNodes, i)
-			p.billDown(i, round, false, nBytes)
+		sum, selSum, count := agg.reduce()
+		denom := selSum
+		if useHT {
+			denom = htDenom
 		}
-
-		// Re-probe suspects with the current θ: a dropped node that has
-		// recovered answers like any other and rejoins below. Every probe
-		// resyncs the link's codec chains first — an unanswered probe must
-		// not advance the reference a revived node has never seen.
-		var probeNodes []int
-		if ft {
-			for i := range p.alive {
-				if p.alive[i] {
-					continue
-				}
-				m, err := p.paramsMsg(i, round, t0, true)
-				if err != nil {
-					return nil, p.stats, err
-				}
-				nBytes := wireBytes(m)
-				if err := ops.trySend(i, m, probeTO); err != nil {
-					continue
-				}
-				probeNodes = append(probeNodes, i)
-				p.billDown(i, round, true, nBytes)
-			}
-		}
-
-		updates := make([]tensor.Vec, 0, len(roundNodes)+len(probeNodes))
-		selWeights := make([]float64, 0, len(roundNodes)+len(probeNodes))
-		var selSum float64
-		thetaNorm := p.theta.Norm()
-		accept := func(i int, msg transport.Msg) {
-			// The message crossed the wire either way; account for it even
-			// when the sanitation guard discards the payload.
-			p.billUp(i, round, wireBytes(msg))
-			if err := p.sanitize(tensor.Vec(msg.Params), thetaNorm); err != nil {
-				p.stats.Rejected++
-				if p.obs != nil {
-					p.obs.Observe(obs.Event{Type: obs.TypeReject, Round: round, Node: i, Cause: err.Error()})
-				}
-				logf("core: rejected update from node %d in round %d: %v", i, round, err)
-				return
-			}
-			updates = append(updates, tensor.Vec(msg.Params))
-			selWeights = append(selWeights, weights[i])
-			selSum += weights[i]
-		}
-		for _, i := range roundNodes {
-			msg, err := p.gatherFrom(i, round, c.RoundTimeout)
-			if err != nil {
-				if ft && errors.Is(err, errDecode) {
-					// Delivered but undecodable (wire corruption or a broken
-					// reference chain): bill the bytes that arrived, discard
-					// like a sanitation reject, and force a full resync so
-					// the next exchange re-establishes the chain. The node
-					// stays in the federation.
-					p.billUp(i, round, wireBytes(msg))
-					p.stats.Rejected++
-					if p.obs != nil {
-						p.obs.Observe(obs.Event{Type: obs.TypeReject, Round: round, Node: i, Cause: err.Error()})
-					}
-					p.resyncLink(i)
-					logf("core: rejected update from node %d in round %d: %v", i, round, err)
-					continue
-				}
-				if ft {
-					p.markSuspect(i, round, err)
-					continue
-				}
-				return nil, p.stats, err
-			}
-			if !ft {
-				// Strict mode: a poisoned update aborts the run instead of
-				// degrading it.
-				if err := p.sanitize(tensor.Vec(msg.Params), thetaNorm); err != nil {
-					return nil, p.stats, fmt.Errorf("core: node %d round %d: %v", i, round, err)
-				}
-			}
-			accept(i, msg)
-		}
-		for _, i := range probeNodes {
-			msg, err := p.gatherFrom(i, round, probeTO)
-			if err != nil {
-				continue // still unreachable; stays suspect
-			}
-			p.rejoin(i, round)
-			accept(i, msg)
-		}
-
-		if p.aliveCnt < minNodes {
-			return nil, p.stats, fmt.Errorf("core: only %d nodes alive, below MinNodes=%d", p.aliveCnt, minNodes)
-		}
-		if len(updates) == 0 || selSum <= 0 {
-			if ft {
-				p.stats.SkippedRounds++
+		if count == 0 || denom <= 0 {
+			if ls.ft {
+				ls.stats.SkippedRounds++
 				consecSkipped++
-				if p.obs != nil {
-					p.obs.Observe(obs.Event{Type: obs.TypeRoundSkip, Round: round, Iter: iter, T0: t0, Alive: p.aliveCnt, Dur: time.Since(roundT0)})
+				if ls.obs != nil {
+					ls.obs.Observe(obs.Event{Type: obs.TypeRoundSkip, Round: round, Iter: iter, T0: t0, Alive: ls.aliveCnt, Dur: time.Since(roundT0)})
 				}
-				logf("core: round %d produced no usable updates (%d alive); skipping aggregation", round, p.aliveCnt)
+				logf("core: round %d produced no usable updates (%d alive); skipping aggregation", round, ls.aliveCnt)
 				if consecSkipped > maxConsecutiveSkips {
-					return nil, p.stats, fmt.Errorf("core: %d consecutive rounds without usable updates (%d nodes alive)", consecSkipped, p.aliveCnt)
+					return nil, ls.stats, fmt.Errorf("core: %d consecutive rounds without usable updates (%d nodes alive)", consecSkipped, ls.aliveCnt)
 				}
 				continue
 			}
-			return nil, p.stats, fmt.Errorf("core: round %d produced no usable updates (%d nodes alive)", round, p.aliveCnt)
+			return nil, ls.stats, fmt.Errorf("core: round %d produced no usable updates (%d nodes alive)", round, ls.aliveCnt)
 		}
 		consecSkipped = 0
 
 		// Aggregate into the reused θ buffer (Eq. 5). The updates were
 		// received from the nodes, which relinquished ownership on Send,
-		// so none of them aliases theta.
-		if p.obs != nil {
-			p.prevTheta.CopyFrom(p.theta)
+		// so none of them aliases theta or the core's reduction buffer.
+		if ls.obs != nil {
+			prevTheta.CopyFrom(theta)
 		}
-		tensor.WeightedSumInto(p.theta, selWeights, updates)
-		p.theta.ScaleInPlace(1 / selSum)
+		sum.ScaleInto(1/denom, theta)
 		// Measure the update dispersion around the new aggregate — the
 		// similarity proxy fed back to the T0 controller.
-		dispersion = 0
-		for k, u := range updates {
-			dispersion += selWeights[k] / selSum * u.Dist(p.theta)
-		}
+		dispersion = agg.dispersion(theta, denom)
 		iter += t0
-		p.stats.Rounds++
-		if p.obs != nil {
-			p.obs.Observe(obs.Event{
+		ls.stats.Rounds++
+		if ls.obs != nil {
+			ls.obs.Observe(obs.Event{
 				Type: obs.TypeRoundEnd, Round: round, Iter: iter, T0: t0,
-				Alive: p.aliveCnt, Dur: time.Since(roundT0),
-				Value: p.theta.Dist(p.prevTheta), Dispersion: dispersion,
+				Alive: ls.aliveCnt, Dur: time.Since(roundT0),
+				Value: theta.Dist(prevTheta), Dispersion: dispersion,
 			})
 		}
 		if c.OnRound != nil {
-			c.OnRound(round, iter, p.theta)
+			c.OnRound(round, iter, theta)
 		}
-		if c.CheckpointPath != "" && (p.stats.Rounds%ckEvery == 0 || iter >= c.T) {
-			if err := p.snapshot(round, iter, t0, dispersion); err != nil {
-				return nil, p.stats, err
+		if c.CheckpointPath != "" && (ls.stats.Rounds%ckEvery == 0 || iter >= c.T) {
+			if err := saveSnapshot(c.CheckpointPath, round, iter, t0, dispersion, theta, ls.stats); err != nil {
+				return nil, ls.stats, err
 			}
 		}
 	}
 
-	// Shutdown sweep. Failures here are not drops — training is already
-	// complete — so they are logged under a named phase and excluded from
-	// the Dropped count.
-	for i := range links {
-		if !p.alive[i] {
-			if ft {
-				// Best-effort farewell so a node that revives later exits
-				// cleanly instead of waiting for a round that never comes.
-				_ = ops.trySend(i, transport.Msg{Kind: transport.KindDone}, probeTO)
-			}
-			continue
-		}
-		if err := ops.send(i, transport.Msg{Kind: transport.KindDone}); err != nil {
-			if ft {
-				logf("core: shutdown: done to node %d failed: %v", i, err)
-				continue
-			}
-			return nil, p.stats, fmt.Errorf("core: done to node %d: %w", i, err)
-		}
+	if err := ls.shutdown(); err != nil {
+		return nil, ls.stats, err
 	}
-	return p.theta, p.stats, nil
-}
-
-// participationSelector picks the per-round node subset for client
-// sampling. Full participation returns the fixed identity subset.
-type participationSelector struct {
-	n        int
-	perRound int
-	rand     *rng.Rand
-	all      []int
-}
-
-func newParticipationSelector(c Config, n int) *participationSelector {
-	s := &participationSelector{n: n, all: make([]int, n)}
-	for i := range s.all {
-		s.all[i] = i
-	}
-	if c.Participation <= 0 || c.Participation >= 1 {
-		return s
-	}
-	s.perRound = int(math.Ceil(c.Participation * float64(n)))
-	if s.perRound < 1 {
-		s.perRound = 1
-	}
-	s.rand = rng.New(c.Seed ^ 0x5e1ec7)
-	return s
-}
-
-// pick returns the node indices participating in the next round, sorted so
-// that gathers and aggregation stay deterministic.
-func (s *participationSelector) pick() []int {
-	if s.rand == nil {
-		return s.all
-	}
-	perm := s.rand.Perm(s.n)
-	sel := perm[:s.perRound]
-	sort.Ints(sel)
-	return sel
+	return theta, ls.stats, nil
 }

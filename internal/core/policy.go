@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/edgeai/fedml/internal/checkpoint"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// This file is the policy layer of the platform: who participates in a
+// round (client sampling), how long the round may take (timeout
+// resolution), how many local steps it runs (the T0 schedule), and when
+// state is persisted (checkpointing). Policy decisions are pure functions
+// of configuration and round number, so the flat platform, a leaf shard,
+// and the director all make identical decisions from the same inputs.
+
+// maxConsecutiveSkips bounds how many rounds in a row a fault-tolerant
+// aggregator tolerates without a single usable update before giving up.
+const maxConsecutiveSkips = 8
+
+// participationSelector picks the per-round node subset for client
+// sampling. Full participation returns the fixed identity subset.
+//
+// Each round's subset is a pure function of (Seed, salt, round): the
+// selector derives a fresh child stream per round instead of consuming one
+// sequential stream, so a platform that resumes from a round-R checkpoint
+// samples rounds R+1, R+2, … exactly as the uninterrupted run would have.
+// salt decorrelates selectors drawing from one Seed (one per shard).
+type participationSelector struct {
+	n        int
+	perRound int
+	src      *rng.Rand
+	all      []int
+}
+
+func newParticipationSelector(c Config, n int, salt uint64) *participationSelector {
+	s := &participationSelector{n: n, all: make([]int, n)}
+	for i := range s.all {
+		s.all[i] = i
+	}
+	if c.Participation <= 0 || c.Participation >= 1 {
+		return s
+	}
+	s.perRound = int(math.Ceil(c.Participation * float64(n)))
+	if s.perRound < 1 {
+		s.perRound = 1
+	}
+	s.src = rng.New(c.Seed ^ 0x5e1ec7).Split(salt)
+	return s
+}
+
+// pick returns the local node indices participating in round (1-based),
+// sorted so that gathers and aggregation stay deterministic. The result for
+// a given round never depends on which earlier rounds were picked.
+func (s *participationSelector) pick(round int) []int {
+	if s.src == nil {
+		return s.all
+	}
+	perm := s.src.Split(uint64(round)).Perm(s.n)
+	sel := perm[:s.perRound]
+	sort.Ints(sel)
+	return sel
+}
+
+// inclusionProb is the marginal probability that any given node is sampled
+// in a round (uniform over fixed-size subsets), the π of the
+// inverse-inclusion-probability correction. 1 under full participation.
+func (s *participationSelector) inclusionProb() float64 {
+	if s.src == nil {
+		return 1
+	}
+	return float64(s.perRound) / float64(s.n)
+}
+
+// selectAlive applies the round's sample to the current liveness mask,
+// falling back to every alive node when the sample missed all of them.
+func (s *participationSelector) selectAlive(round int, alive []bool) []int {
+	selected := make([]int, 0, s.n)
+	for _, i := range s.pick(round) {
+		if alive[i] {
+			selected = append(selected, i)
+		}
+	}
+	if len(selected) == 0 {
+		// The sample missed every alive node; fall back to all of them.
+		for i := range alive {
+			if alive[i] {
+				selected = append(selected, i)
+			}
+		}
+	}
+	return selected
+}
+
+// resolveProbeTimeout resolves the per-operation suspect re-probe deadline:
+// ProbeTimeout when set, RoundTimeout/4 otherwise, floored at 1ms.
+func resolveProbeTimeout(c Config) time.Duration {
+	probeTO := c.ProbeTimeout
+	if probeTO <= 0 {
+		probeTO = c.RoundTimeout / 4
+	}
+	if probeTO < time.Millisecond {
+		probeTO = time.Millisecond
+	}
+	return probeTO
+}
+
+// nextT0 advances the local-step schedule for the upcoming round: the
+// T0Controller (fed the previous round's dispersion) re-chooses the count,
+// clamped to [1, remaining budget].
+func nextT0(c Config, round int, dispersion float64, t0, remaining int) int {
+	if c.T0Controller != nil && round > 1 {
+		t0 = c.T0Controller(round, dispersion, t0)
+		if t0 < 1 {
+			t0 = 1
+		}
+	}
+	if t0 > remaining {
+		t0 = remaining
+	}
+	return t0
+}
+
+// foldScalars folds per-node scalars over global indices [lo, hi) with the
+// same midpoint recursion the aggregation core uses for vectors, so scalar
+// totals (e.g. the full-participation weight sum of the unbiased
+// correction) compose bit-exactly across the shard tree.
+func foldScalars(lo, hi int, f func(i int) float64) float64 {
+	if hi-lo == 1 {
+		return f(lo)
+	}
+	mid := lo + (hi-lo)/2
+	return foldScalars(lo, mid, f) + foldScalars(mid, hi, f)
+}
+
+// saveSnapshot persists the post-aggregation state of a round for crash
+// recovery.
+func saveSnapshot(path string, round, iter, t0 int, dispersion float64, theta tensor.Vec, stats CommStats) error {
+	st := &checkpoint.RunState{
+		Version:       checkpoint.RunStateVersion,
+		Round:         round,
+		Iter:          iter,
+		T0:            t0,
+		Dispersion:    dispersion,
+		Theta:         append([]float64(nil), theta...),
+		Rounds:        stats.Rounds,
+		Messages:      stats.Messages,
+		Bytes:         stats.Bytes,
+		Dropped:       stats.Dropped,
+		Rejoined:      stats.Rejoined,
+		Rejected:      stats.Rejected,
+		SkippedRounds: stats.SkippedRounds,
+	}
+	if err := checkpoint.SaveRunState(path, st); err != nil {
+		return fmt.Errorf("core: checkpoint round %d: %w", round, err)
+	}
+	return nil
+}
+
+// statsFromSnapshot rebuilds the accounting a snapshot recorded.
+func statsFromSnapshot(st *checkpoint.RunState) CommStats {
+	return CommStats{
+		Rounds: st.Rounds, Messages: st.Messages, Bytes: st.Bytes,
+		Dropped: st.Dropped, Rejoined: st.Rejoined, Rejected: st.Rejected,
+		SkippedRounds: st.SkippedRounds,
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/edgeai/fedml/internal/obs"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+// RunShardAggregator executes one leaf of the two-tier topology: it owns
+// the node links of the contiguous global index range r (links[k] connects
+// the node with global index r.Lo+k and weight weights[k]), takes round
+// dispatches from the director over up, runs the node-facing round through
+// the same link layer and aggregation core as the flat platform, and sends
+// the shard-weighted partial sum + sample count back upstream as a
+// KindPartial message.
+//
+// The shard applies the full per-node machinery locally — client sampling
+// (from its own (Seed, shard)-salted stream), fault-tolerant drop/probe/
+// rejoin when cfg.RoundTimeout > 0, codec chains, the sanitation guard —
+// and reports its cumulative CommStats inside every partial, which is what
+// lets the director's totals equal the sum of the shard totals exactly.
+// Checkpointing and the T0 schedule belong to the director: cfg's
+// checkpoint fields are ignored here and the per-round step count arrives
+// in the dispatch message.
+//
+// The function returns when the director sends KindDone (after a clean
+// shutdown sweep of the shard's nodes) or on a fatal error, which is also
+// reported upstream as KindError so the director can abort the run.
+func RunShardAggregator(up transport.Link, links []transport.Link, weights []float64, r ShardRange, cfg Config) error {
+	c := cfg.normalized()
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if r.Lo < 0 || r.Hi <= r.Lo {
+		return fmt.Errorf("core: shard range [%d,%d) is empty", r.Lo, r.Hi)
+	}
+	if len(links) != r.Hi-r.Lo {
+		return fmt.Errorf("core: shard [%d,%d) needs %d links, got %d", r.Lo, r.Hi, r.Hi-r.Lo, len(links))
+	}
+	if len(links) != len(weights) {
+		return fmt.Errorf("core: %d links but %d weights", len(links), len(weights))
+	}
+	var wsum float64
+	for _, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("core: negative aggregation weight %v", w)
+		}
+		wsum += w
+	}
+	if wsum <= 0 {
+		return fmt.Errorf("core: aggregation weights sum to %v", wsum)
+	}
+
+	ls := newLinkSet(c, links, r.Lo)
+	defer ls.finish()
+	selector := newParticipationSelector(c, len(links), uint64(r.Lo))
+	pi := selector.inclusionProb()
+	correct := c.UnbiasedParticipation && c.samplingActive()
+	// The shard's slice of the unbiased estimator's denominator, folded
+	// with the merge rule so the director's cross-shard fold reproduces
+	// the flat platform's scalar bit for bit.
+	fullW := foldScalars(r.Lo, r.Hi, func(gi int) float64 { return weights[gi-r.Lo] })
+
+	// The aggregation core is sized on the first dispatch, when the model
+	// dimension becomes known.
+	var (
+		agg       *aggCore
+		shardMean tensor.Vec
+		iter      int
+		lastRound int
+	)
+
+	fail := func(round int, err error) error {
+		_ = up.Send(transport.Msg{
+			Kind:   transport.KindError,
+			Round:  round,
+			NodeID: r.Lo,
+			Err:    err.Error(),
+		})
+		return err
+	}
+
+	for {
+		msg, err := up.Recv()
+		if err != nil {
+			return fmt.Errorf("core: shard [%d,%d) recv: %w", r.Lo, r.Hi, err)
+		}
+		switch msg.Kind {
+		case transport.KindDone:
+			return ls.shutdown()
+		case transport.KindParams:
+			// Fall through to the round body below.
+		default:
+			return fmt.Errorf("%w: shard [%d,%d) got unexpected %v", ErrProtocol, r.Lo, r.Hi, msg.Kind)
+		}
+
+		round := msg.Round
+		if round <= lastRound {
+			return fmt.Errorf("%w: shard [%d,%d) dispatched round %d after round %d", ErrProtocol, r.Lo, r.Hi, round, lastRound)
+		}
+		lastRound = round
+		theta := tensor.Vec(msg.Params)
+		if agg == nil {
+			agg = newAggCore(r.Lo, r.Hi, len(theta))
+			shardMean = tensor.NewVec(len(theta))
+		}
+		if len(theta) != agg.dim {
+			return fail(round, fmt.Errorf("%w: shard [%d,%d) dispatched %d params, want %d", ErrProtocol, r.Lo, r.Hi, len(theta), agg.dim))
+		}
+		t0 := msg.LocalSteps
+		if t0 <= 0 {
+			t0 = c.T0
+		}
+		var roundT0 time.Time
+		if ls.obs != nil {
+			roundT0 = time.Now()
+			ls.obs.Observe(obs.Event{Type: obs.TypeRoundStart, Round: round, Iter: iter, T0: t0, Alive: ls.aliveCnt})
+		}
+
+		selected := selector.selectAlive(round, ls.alive)
+		agg.reset()
+		if err := ls.gatherRound(round, t0, theta, selected, func(i int, u tensor.Vec) {
+			w := weights[i]
+			if correct {
+				w /= pi
+			}
+			agg.accept(r.Lo+i, u, w)
+		}); err != nil {
+			return fail(round, err)
+		}
+
+		sum, selSum, count := agg.reduce()
+		iter += t0
+		// The within-shard dispersion (around the shard-local aggregate) is
+		// the shard's half of the hierarchical similarity proxy; the
+		// director adds the between-shard term.
+		var dispersion float64
+		if count > 0 && selSum > 0 {
+			sum.ScaleInto(1/selSum, shardMean)
+			dispersion = agg.dispersion(shardMean, selSum)
+		}
+		if ls.obs != nil {
+			if count == 0 {
+				ls.stats.SkippedRounds++
+				ls.obs.Observe(obs.Event{Type: obs.TypeRoundSkip, Round: round, Iter: iter, T0: t0, Alive: ls.aliveCnt, Dur: time.Since(roundT0)})
+			} else {
+				ls.stats.Rounds++
+				ls.obs.Observe(obs.Event{
+					Type: obs.TypeRoundEnd, Round: round, Iter: iter, T0: t0,
+					Alive: ls.aliveCnt, Dur: time.Since(roundT0), Dispersion: dispersion,
+				})
+			}
+		} else {
+			if count == 0 {
+				ls.stats.SkippedRounds++
+			} else {
+				ls.stats.Rounds++
+			}
+		}
+
+		partial := transport.Msg{
+			Kind:   transport.KindPartial,
+			Round:  round,
+			NodeID: r.Lo,
+			Partial: &transport.Partial{
+				Weight:     selSum,
+				FullWeight: fullW,
+				Count:      count,
+				Dispersion: dispersion,
+				Alive:      ls.aliveCnt,
+				Stats:      shardStatsOf(ls.stats),
+			},
+		}
+		if count > 0 {
+			// sum is the core's reused reduction buffer; ownership of
+			// Msg.Params transfers on Send, so a copy crosses the boundary.
+			partial.Params = sum.Clone()
+		}
+		if err := up.Send(partial); err != nil {
+			return fmt.Errorf("core: shard [%d,%d) send partial for round %d: %w", r.Lo, r.Hi, round, err)
+		}
+	}
+}
+
+// shardStatsOf converts the shard's accounting to its wire form.
+func shardStatsOf(s CommStats) transport.ShardStats {
+	return transport.ShardStats{
+		Rounds:        s.Rounds,
+		Messages:      s.Messages,
+		Bytes:         s.Bytes,
+		Dropped:       s.Dropped,
+		Rejoined:      s.Rejoined,
+		Rejected:      s.Rejected,
+		SkippedRounds: s.SkippedRounds,
+	}
+}
+
+// statsOfShard converts a shard's wire-form accounting back to CommStats.
+func statsOfShard(s transport.ShardStats) CommStats {
+	return CommStats{
+		Rounds:        s.Rounds,
+		Messages:      s.Messages,
+		Bytes:         s.Bytes,
+		Dropped:       s.Dropped,
+		Rejoined:      s.Rejoined,
+		Rejected:      s.Rejected,
+		SkippedRounds: s.SkippedRounds,
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+// SimNodeLink is a platform-side transport.Link whose far endpoint is a
+// simulated node computed inline: Send of a round broadcast synthesizes the
+// node's update synchronously (no goroutine, no channel) and the following
+// Recv returns it. One SimNodeLink costs a few words of state, which is what
+// lets a single machine drive 10⁵–10⁶ nodes per round through the unchanged
+// shard/platform round loop (see experiments' ext-scale).
+//
+// The link is strict-mode, raw-codec only: it must not be wrapped in
+// transport.Async (each wrap costs two goroutines, defeating the point) and
+// rejects compressed broadcasts — run it with Config.RoundTimeout == 0 and
+// Config.Codec empty or "raw".
+type SimNodeLink struct {
+	// ID is the simulated node's global index, echoed in replies.
+	ID int
+	// Update synthesizes the node's round reply from the broadcast
+	// parameters. It owns theta (ownership transferred on Send, as for any
+	// Link) and may mutate and return it in place, the allocation-free
+	// idiom. localSteps is the round's dispatched T0.
+	Update func(id, round, localSteps int, theta []float64) []float64
+
+	pending *transport.Msg
+	closed  bool
+}
+
+// Send accepts a platform broadcast and computes the simulated reply.
+func (l *SimNodeLink) Send(m transport.Msg) error {
+	if l.closed {
+		return transport.ErrClosed
+	}
+	switch m.Kind {
+	case transport.KindParams:
+		if m.Codec != "" {
+			return fmt.Errorf("simnode %d: compressed broadcast (codec %q); SimNodeLink is raw-only", l.ID, m.Codec)
+		}
+		reply := transport.Msg{
+			Kind:   transport.KindUpdate,
+			Round:  m.Round,
+			NodeID: l.ID,
+			Params: l.Update(l.ID, m.Round, m.LocalSteps, m.Params),
+		}
+		l.pending = &reply
+		return nil
+	case transport.KindDone:
+		return nil
+	default:
+		return fmt.Errorf("simnode %d: unexpected %v", l.ID, m.Kind)
+	}
+}
+
+// Recv returns the reply synthesized by the last broadcast.
+func (l *SimNodeLink) Recv() (transport.Msg, error) {
+	if l.closed {
+		return transport.Msg{}, transport.ErrClosed
+	}
+	if l.pending == nil {
+		// A real node would leave the caller blocked; failing loudly turns
+		// the would-be deadlock into a diagnosable protocol bug.
+		return transport.Msg{}, fmt.Errorf("simnode %d: recv with no pending reply", l.ID)
+	}
+	m := *l.pending
+	l.pending = nil
+	return m, nil
+}
+
+// Close implements transport.Link.
+func (l *SimNodeLink) Close() error {
+	l.closed = true
+	l.pending = nil
+	return nil
+}

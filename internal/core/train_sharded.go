@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/obs"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+// ShardedOptions shapes the two-tier topology built by TrainSharded.
+type ShardedOptions struct {
+	// Shards is the number of leaf shard aggregators. Used only when Ranges
+	// is nil; ShardRanges(n, Shards) plans the layout.
+	Shards int
+	// Ranges, when non-nil, is an explicit shard layout. It must tile the
+	// node index space with boundaries on merge-recursion split points
+	// (validateRanges); use ShardRanges to generate one.
+	Ranges []ShardRange
+	// ShardObserver, when non-nil, supplies a per-shard observer for the
+	// shard aggregators' round and traffic events. Cfg.Observer stays with
+	// the director: sharing one observer across shards would interleave
+	// round streams, so each shard gets its own (typically its own JSONL
+	// file — see cmd/fedml -shards).
+	ShardObserver func(shard int) obs.RoundObserver
+}
+
+// ShardedResult is the outcome of a two-tier federated meta-training run.
+type ShardedResult struct {
+	// Theta is the final global model initialization θ.
+	Theta tensor.Vec
+	// Comm is the root accounting: traffic and fault counters are the exact
+	// sum of the shard counters, Rounds/SkippedRounds count global
+	// aggregations.
+	Comm CommStats
+	// Shards holds each shard aggregator's own cumulative accounting.
+	Shards []CommStats
+}
+
+// TrainSharded runs FedML through the two-tier topology fully in-process:
+// each source node of fed executes in its own goroutine behind an in-memory
+// link, the node links are partitioned into contiguous shards each owned by
+// a RunShardAggregator goroutine, and a RunDirector merges the shard
+// partials. Because the shard layout aligns with the aggregation core's
+// merge recursion, the θ sequence is bit-identical to Train over the same
+// federation whenever the same updates arrive.
+//
+// Division of labor inside cfg: the director keeps the policy surface —
+// Observer, OnRound, T0Controller, CheckpointPath/Resume — while sampling,
+// fault tolerance, codecs, and the sanitation guard are applied by the
+// shards against their own node links (cfg.MinNodes is per shard).
+// cfg.WrapLink wraps the node links with their *global* index, exactly as
+// in Train; director↔shard links are an unbilled in-process control plane
+// and are never wrapped.
+func TrainSharded(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config, opt ShardedOptions) (*ShardedResult, error) {
+	c := cfg.normalized()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil || fed == nil {
+		return nil, errors.New("core: nil model or federation")
+	}
+	if len(fed.Sources) == 0 {
+		return nil, errors.New("core: federation has no source nodes")
+	}
+	n := len(fed.Sources)
+	ranges := opt.Ranges
+	if ranges == nil {
+		if opt.Shards < 1 {
+			return nil, errors.New("core: sharded training needs Shards >= 1 or an explicit Ranges layout")
+		}
+		ranges = ShardRanges(n, opt.Shards)
+	}
+	if err := validateRanges(n, ranges); err != nil {
+		return nil, err
+	}
+	if theta0 == nil {
+		theta0 = m.InitParams(rng.New(c.Seed))
+	}
+	if len(theta0) != m.NumParams() {
+		return nil, fmt.Errorf("core: theta0 has %d params, model needs %d", len(theta0), m.NumParams())
+	}
+
+	platformLinks := make([]transport.Link, n)
+	nodeLinks := make([]transport.Link, n)
+	for i := range fed.Sources {
+		platformLinks[i], nodeLinks[i] = transport.Pair()
+		if c.WrapLink != nil {
+			// Fault-injection hook, keyed by global node index as in Train.
+			platformLinks[i] = c.WrapLink(i, platformLinks[i])
+		}
+	}
+
+	var nodeWG sync.WaitGroup
+	nodeErrs := make([]error, n)
+	for i, nd := range fed.Sources {
+		nodeWG.Add(1)
+		go func(i int, nd *data.NodeDataset) {
+			defer nodeWG.Done()
+			nodeErrs[i] = RunNode(nodeLinks[i], NodeConfig{
+				ID:     i,
+				Model:  m,
+				Data:   nd,
+				Shared: c,
+			})
+		}(i, nd)
+	}
+
+	weights := fed.Weights()
+	dirLinks := make([]transport.Link, len(ranges))
+	shardErrs := make([]error, len(ranges))
+	var shardWG sync.WaitGroup
+	for s, r := range ranges {
+		var shardLink transport.Link
+		dirLinks[s], shardLink = transport.Pair()
+		sc := c
+		// The policy surface stays with the director; a shard must neither
+		// re-wrap its links nor write the global checkpoint.
+		sc.Observer = nil
+		if opt.ShardObserver != nil {
+			sc.Observer = opt.ShardObserver(s)
+		}
+		sc.OnRound = nil
+		sc.T0Controller = nil
+		sc.WrapLink = nil
+		sc.CheckpointPath = ""
+		sc.CheckpointEvery = 0
+		sc.Resume = false
+		shardWG.Add(1)
+		go func(s int, r ShardRange, up transport.Link, sc Config) {
+			defer shardWG.Done()
+			shardErrs[s] = RunShardAggregator(up, platformLinks[r.Lo:r.Hi], weights[r.Lo:r.Hi], r, sc)
+		}(s, r, shardLink, sc)
+	}
+
+	theta, rootStats, shardStats, dirErr := RunDirector(dirLinks, ranges, theta0, c)
+
+	// Tear down outside-in: closing the director links unblocks shards
+	// stuck in Recv or mid-partial-Send after a director-side failure, then
+	// closing the platform-side node links unblocks their nodes. In
+	// fault-tolerant mode the shards' linkSets already closed the node
+	// links they own, making these closes no-ops.
+	for _, l := range dirLinks {
+		_ = l.Close()
+	}
+	shardWG.Wait()
+	for _, l := range platformLinks {
+		_ = l.Close()
+	}
+	nodeWG.Wait()
+	for _, l := range nodeLinks {
+		_ = l.Close()
+	}
+
+	if dirErr != nil {
+		// A node failure surfaces at every tier; prefer the node's error,
+		// then the shard's, which carry the root cause.
+		for _, err := range nodeErrs {
+			if err != nil && !errors.Is(err, transport.ErrClosed) {
+				return nil, fmt.Errorf("federated training: %w", err)
+			}
+		}
+		for _, err := range shardErrs {
+			if err != nil && !errors.Is(err, transport.ErrClosed) {
+				return nil, fmt.Errorf("federated training: %w", err)
+			}
+		}
+		return nil, fmt.Errorf("federated training: %w", dirErr)
+	}
+	for _, err := range shardErrs {
+		if err != nil {
+			return nil, fmt.Errorf("federated training: %w", err)
+		}
+	}
+	for _, err := range nodeErrs {
+		if err == nil {
+			continue
+		}
+		// In fault-tolerant mode dropped (or raced-at-shutdown) nodes see
+		// their link closed by the shard; that is expected, not failure.
+		if c.RoundTimeout > 0 && errors.Is(err, transport.ErrClosed) {
+			continue
+		}
+		return nil, fmt.Errorf("federated training: %w", err)
+	}
+	return &ShardedResult{Theta: theta, Comm: rootStats, Shards: shardStats}, nil
+}

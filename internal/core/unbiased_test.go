@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+	"github.com/edgeai/fedml/internal/transport"
+)
+
+// subsets enumerates all k-element subsets of {0..n-1}.
+func subsets(n, k int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i <= n-(k-len(cur)); i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// TestUnbiasedEstimatorExact proves the estimator property by exhaustive
+// enumeration over every C(n,k) subset, through the same aggregation-core
+// path the platform uses: the Horvitz–Thompson aggregate (weights ω/π,
+// denominator = full weight total) averages to the full-participation
+// aggregate exactly, while the responder renormalization is biased for
+// unequal weights.
+func TestUnbiasedEstimatorExact(t *testing.T) {
+	const n, k, dim = 5, 2, 3
+	us, _ := randomUpdates(42, n, dim)
+	// Skewed weights make the renormalization bias visible.
+	ws := []float64{10, 1, 1, 1, 1}
+	pi := float64(k) / float64(n)
+	fullW := foldScalars(0, n, func(i int) float64 { return ws[i] })
+
+	// Full participation reference.
+	ref := newAggCore(0, n, dim)
+	for i := 0; i < n; i++ {
+		ref.accept(i, us[i].Clone(), ws[i])
+	}
+	refSum, refW, _ := ref.reduce()
+	full := tensor.NewVec(dim)
+	refSum.ScaleInto(1/refW, full)
+
+	all := subsets(n, k)
+	avgHT := tensor.NewVec(dim)
+	avgRenorm := tensor.NewVec(dim)
+	agg := newAggCore(0, n, dim)
+	for _, sub := range all {
+		agg.reset()
+		for _, i := range sub {
+			agg.accept(i, us[i].Clone(), ws[i]/pi)
+		}
+		sum, selSum, _ := agg.reduce()
+		for d := range avgHT {
+			avgHT[d] += sum[d] / fullW / float64(len(all))
+			// The biased estimator renormalizes the corrected weights over
+			// the responders, exactly what the platform does without the
+			// flag (the ω/π factors cancel).
+			avgRenorm[d] += sum[d] / selSum / float64(len(all))
+		}
+	}
+
+	var htErr, renormErr float64
+	for d := range full {
+		htErr = math.Max(htErr, math.Abs(avgHT[d]-full[d]))
+		renormErr = math.Max(renormErr, math.Abs(avgRenorm[d]-full[d]))
+	}
+	if htErr > 1e-12 {
+		t.Errorf("HT estimator biased: max error %v over exhaustive subsets", htErr)
+	}
+	if renormErr < 1e-3 {
+		t.Errorf("renormalized estimator unexpectedly unbiased (max error %v); test lost its teeth", renormErr)
+	}
+}
+
+// TestUnbiasedParticipationTraining drives the flag through real training:
+// the run must stay deterministic, converge, and — under full participation
+// — be a bit-exact no-op.
+func TestUnbiasedParticipationTraining(t *testing.T) {
+	fed := tinyFederation(t, 0, 0)
+	m := tinyModel(fed)
+	theta0 := m.InitParams(rng.New(4))
+
+	cfg := Config{Alpha: 0.01, Beta: 0.01, T: 100, T0: 10, Seed: 4, Participation: 0.5, UnbiasedParticipation: true}
+	a, err := Train(m, fed, theta0.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(m, fed, theta0.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Theta.Dist(b.Theta) != 0 {
+		t.Error("unbiased participation broke determinism")
+	}
+	if !a.Theta.IsFinite() {
+		t.Fatal("unbiased training produced non-finite θ")
+	}
+
+	biased := cfg
+	biased.UnbiasedParticipation = false
+	c, err := Train(m, fed, theta0.Clone(), biased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Theta.Dist(c.Theta) == 0 {
+		t.Error("flag had no effect under active sampling")
+	}
+
+	// Under full participation the estimator reduces to the plain
+	// renormalization: the flag must be a bit-exact no-op.
+	fullCfg := Config{Alpha: 0.01, Beta: 0.01, T: 40, T0: 10, Seed: 4, UnbiasedParticipation: true}
+	d, err := Train(m, fed, theta0.Clone(), fullCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCfg.UnbiasedParticipation = false
+	e, err := Train(m, fed, theta0.Clone(), fullCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Theta.Dist(e.Theta) != 0 {
+		t.Error("flag changed θ under full participation")
+	}
+}
+
+// TestUnbiasedSimulatedAggregation pins the statistical claim end to end on
+// the real platform loop with simulated nodes that return fixed points: over
+// many sampled rounds, the per-round HT aggregates must average closer to
+// the full-participation aggregate than the renormalized ones, with the
+// heavy-weight node's over-counting driving the gap.
+func TestUnbiasedSimulatedAggregation(t *testing.T) {
+	const n, dim, rounds = 5, 4, 400
+	centers, _ := randomUpdates(7, n, dim)
+	ws := []float64{10, 1, 1, 1, 1}
+	wsum := 0.0
+	full := tensor.NewVec(dim)
+	for i := range centers {
+		wsum += ws[i]
+	}
+	for i := range centers {
+		for d := range full {
+			full[d] += ws[i] / wsum * centers[i][d]
+		}
+	}
+
+	run := func(unbiased bool) tensor.Vec {
+		theta0 := tensor.NewVec(dim)
+		mean := tensor.NewVec(dim)
+		cfg := Config{
+			Alpha: 0.01, Beta: 0.01, T: rounds, T0: 1, Seed: 12,
+			Participation: 0.4, UnbiasedParticipation: unbiased,
+			OnRound: func(round, iter int, theta tensor.Vec) {
+				for d := range mean {
+					mean[d] += theta[d] / rounds
+				}
+			},
+		}
+		ls := make([]SimNodeLink, n)
+		lp := make([]transport.Link, n)
+		for i := range ls {
+			ls[i] = SimNodeLink{ID: i, Update: func(id, round, t0 int, theta []float64) []float64 {
+				copy(theta, centers[id])
+				return theta
+			}}
+			lp[i] = &ls[i]
+		}
+		if _, _, err := RunPlatform(lp, ws, theta0, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return mean
+	}
+
+	htMean := run(true)
+	renormMean := run(false)
+	var htErr, renormErr float64
+	for d := range full {
+		htErr = math.Max(htErr, math.Abs(htMean[d]-full[d]))
+		renormErr = math.Max(renormErr, math.Abs(renormMean[d]-full[d]))
+	}
+	if htErr >= renormErr {
+		t.Errorf("HT mean error %v not better than renormalized %v over %d rounds", htErr, renormErr, rounds)
+	}
+}

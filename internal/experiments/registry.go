@@ -151,6 +151,13 @@ func All() []Experiment {
 			},
 		},
 		{
+			ID:          "ext-scale",
+			Description: "Extension: fleet-scale two-tier aggregation (10⁵–10⁶ simulated nodes/round)",
+			Run: func(s Scale, workers int) (Renderable, error) {
+				return RunExtScale(DefaultExtScaleConfig(s))
+			},
+		},
+		{
 			ID:          "ext-meta-opt",
 			Description: "Extension: outer-optimizer ablation (SGD vs momentum vs Adam)",
 			Run: func(s Scale, workers int) (Renderable, error) {

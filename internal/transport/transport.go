@@ -23,6 +23,10 @@ const (
 	KindDone
 	// KindError reports a node-side failure to the platform.
 	KindError
+	// KindPartial carries a shard aggregator's round result — the
+	// ω-weighted partial sum in Params plus the Partial metadata block —
+	// up to the director in a two-tier topology.
+	KindPartial
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +40,8 @@ func (k Kind) String() string {
 		return "done"
 	case KindError:
 		return "error"
+	case KindPartial:
+		return "partial"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -69,6 +75,51 @@ type Msg struct {
 	// round. Payload follows the same ownership contract as Params.
 	Codec   string `json:"codec,omitempty"`
 	Payload []byte `json:"payload,omitempty"`
+	// Partial carries the shard-aggregation metadata of a KindPartial
+	// message; Params holds the unnormalized partial sum Σ ω·u it belongs
+	// to. Nil on every other kind.
+	Partial *Partial `json:"partial,omitempty"`
+}
+
+// ShardStats mirrors the platform's communication counters for transit in a
+// Partial, so the shard wire protocol does not depend on internal/core. The
+// semantics match core.CommStats field for field.
+type ShardStats struct {
+	Rounds        int   `json:"rounds"`
+	Messages      int   `json:"messages"`
+	Bytes         int64 `json:"bytes"`
+	Dropped       int   `json:"dropped"`
+	Rejoined      int   `json:"rejoined"`
+	Rejected      int   `json:"rejected"`
+	SkippedRounds int   `json:"skipped_rounds"`
+}
+
+// Partial is the metadata block of a shard aggregator's round result. The
+// accompanying Msg.Params holds the shard's unnormalized weighted update
+// sum; the director merges partials with the aggregation core's fixed merge
+// rule and divides once at the root.
+type Partial struct {
+	// Weight is the merge-rule-folded sum of the aggregation weights of
+	// the updates inside the partial sum (0 when Count is 0).
+	Weight float64 `json:"weight"`
+	// FullWeight is the merge-rule-folded weight total of every node the
+	// shard owns, responding or not — the denominator contribution of the
+	// unbiased-participation estimator.
+	FullWeight float64 `json:"full_weight"`
+	// Count is the number of node updates aggregated into the partial sum.
+	// Zero means the shard contributed nothing this round and Msg.Params
+	// is empty.
+	Count int `json:"count"`
+	// Dispersion is the shard's weighted mean distance of its accepted
+	// updates from the shard-local aggregate — the within-shard half of
+	// the hierarchical similarity proxy.
+	Dispersion float64 `json:"dispersion"`
+	// Alive is the shard's live node count after the round.
+	Alive int `json:"alive"`
+	// Stats is the shard's cumulative communication accounting after this
+	// round. The director's totals are the sum of the latest Stats of
+	// every shard, which is what makes root/shard counter parity exact.
+	Stats ShardStats `json:"stats"`
 }
 
 // Link is one endpoint of a bidirectional, ordered, reliable message pipe.
