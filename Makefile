@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short check chaos-smoke obs-smoke codec-smoke shard-smoke profile bench bench-json bench-check bench-paper bench-par bench-scale fuzz fuzz-smoke examples clean
+.PHONY: all build vet test test-race test-short check chaos-smoke obs-smoke codec-smoke shard-smoke async-smoke profile bench bench-json bench-check bench-paper bench-par bench-scale bench-async fuzz fuzz-smoke examples clean
 
 # Scratch directory for generated artifacts (metrics sinks, bench output,
 # profiles); removed by `make clean`, never committed.
@@ -79,6 +79,21 @@ shard-smoke:
 	$(GO) run ./cmd/obscheck $(BUILD_DIR)/shard_smoke.jsonl \
 		$(BUILD_DIR)/shard_smoke.shard0.jsonl $(BUILD_DIR)/shard_smoke.shard1.jsonl
 
+# Buffered-async smoke: async aggregation with one scripted straggler (slow
+# link from round 2, healed at round 8) plus a kill/revive window. The
+# staleness machinery — decayed applies, drop bound, suspect/rejoin as the
+# common path — must keep the metrics stream consistent: obscheck validates
+# schema, monotonicity, and exact reconstruction including the stale
+# counters.
+async-smoke:
+	@mkdir -p $(BUILD_DIR)
+	$(GO) run ./cmd/fedml train -dataset synthetic -nodes 6 -k 3 -t 30 -t0 5 \
+		-seed 7 -async -staleness-decay 0.6 -max-staleness 1 -async-quorum 0.8 \
+		-round-timeout 500ms -guard 25 \
+		-chaos "1:slow=40ms@2,1:slow=0s@8,2:kill@3,2:revive@5" -chaos-seed 11 \
+		-metrics-out $(BUILD_DIR)/async_smoke.jsonl
+	$(GO) run ./cmd/obscheck $(BUILD_DIR)/async_smoke.jsonl
+
 # CPU + heap profiles of the hot end-to-end benchmark (fig2a). Inspect with
 # `go tool pprof cpu.pprof`; live runs expose the same data via -pprof.
 profile:
@@ -123,6 +138,13 @@ bench-par:
 # rounds/sec into BENCH_experiments.json under "ext_scale".
 bench-scale:
 	$(GO) run ./cmd/fedml-bench -scale-bench -paper -out BENCH_experiments.json
+
+# Async-vs-sync throughput snapshot: run ext-async (one node at 10× latency)
+# and merge round throughput + objective gap into BENCH_experiments.json
+# under "async_skew". Fails if async is under 2× sync or the objective gap
+# exceeds 5%.
+bench-async:
+	$(GO) run ./cmd/fedml-bench -async-bench -out BENCH_experiments.json
 
 # Short fuzzing pass over the parsers and the update codecs.
 fuzz:

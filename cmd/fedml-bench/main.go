@@ -7,6 +7,7 @@
 //	fedml-bench -exp all -paper       # run everything at paper scale
 //	fedml-bench -par-bench -workers 4 # measure parallel speedup on fig2a
 //	fedml-bench -scale-bench -paper   # measure fleet-scale sharded throughput
+//	fedml-bench -async-bench          # measure async vs sync rounds/sec under latency skew
 //
 // Each experiment prints the same rows/series the paper reports; the
 // per-experiment index lives in DESIGN.md §4.
@@ -40,7 +41,8 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 0, "worker count for parallel sections (0 = all cores, 1 = serial)")
 		parBench   = fs.Bool("par-bench", false, "benchmark the fig2a grid at workers=1 vs -workers, verify identical output, and report the speedup")
 		scaleBench = fs.Bool("scale-bench", false, "benchmark fleet-scale two-tier aggregation (ext-scale) and report rounds/sec")
-		out        = fs.String("out", "", "with -par-bench or -scale-bench: merge the measurement into this keyed JSON file")
+		asyncBench = fs.Bool("async-bench", false, "benchmark buffered-async vs sync round throughput under latency skew (ext-async)")
+		out        = fs.String("out", "", "with -par-bench, -scale-bench, or -async-bench: merge the measurement into this keyed JSON file")
 		codecs     = fs.String("codec", "", "with -exp ext-codec: comma-separated update codecs to compare, first is the baseline (default raw,f16,q8,topk)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +67,9 @@ func run(args []string) error {
 	}
 	if *scaleBench {
 		return runScaleBench(scale, *out)
+	}
+	if *asyncBench {
+		return runAsyncBench(scale, *out)
 	}
 
 	if *codecs != "" {
@@ -136,7 +141,7 @@ type scaleBenchReport struct {
 // benchKeys are the families BENCH_experiments.json may hold; anything else
 // found in the file (e.g. the legacy flat par-bench shape) is dropped on the
 // next write.
-var benchKeys = []string{"par_bench", "ext_scale"}
+var benchKeys = []string{"par_bench", "ext_scale", "async_skew"}
 
 // mergeBenchEntry read-modify-writes one family entry into the keyed
 // measurement file, preserving the other families' entries.
@@ -209,6 +214,59 @@ func runParBench(scale experiments.Scale, workers int, outPath string) error {
 	}
 	if outPath != "" {
 		if err := mergeBenchEntry(outPath, "par_bench", rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// asyncBenchReport is the JSON shape stored under "async_skew".
+type asyncBenchReport struct {
+	Scale        string  `json:"scale"`
+	Nodes        int     `json:"nodes"`
+	SyncRounds   int     `json:"sync_rounds"`
+	AsyncRounds  int     `json:"async_rounds"`
+	SyncNs       int64   `json:"sync_ns"`
+	AsyncNs      int64   `json:"async_ns"`
+	SyncRate     float64 `json:"sync_rounds_per_sec"`
+	AsyncRate    float64 `json:"async_rounds_per_sec"`
+	Speedup      float64 `json:"speedup"`
+	RelGap       float64 `json:"objective_rel_gap"`
+	StaleApplied int     `json:"stale_applied"`
+	StaleDropped int     `json:"stale_dropped"`
+}
+
+// runAsyncBench measures the ext-async experiment — buffered-async vs the
+// sync gather barrier under a 10x latency straggler — and merges the round
+// throughputs into the measurement file.
+func runAsyncBench(scale experiments.Scale, outPath string) error {
+	res, err := experiments.RunExtAsync(experiments.DefaultExtAsyncConfig(scale))
+	if err != nil {
+		return fmt.Errorf("async-bench: %w", err)
+	}
+	fmt.Print(res.Render())
+	if res.Speedup < 2 {
+		return fmt.Errorf("async-bench: speedup %.2fx below the 2x floor", res.Speedup)
+	}
+	if res.RelGap > 0.05 {
+		return fmt.Errorf("async-bench: objective gap %.1f%% above the 5%% bound", 100*res.RelGap)
+	}
+	if outPath != "" {
+		rep := asyncBenchReport{
+			Scale:        scale.String(),
+			Nodes:        res.Nodes,
+			SyncRounds:   res.SyncRounds,
+			AsyncRounds:  res.AsyncRounds,
+			SyncNs:       res.SyncElapsed.Nanoseconds(),
+			AsyncNs:      res.AsyncElapsed.Nanoseconds(),
+			SyncRate:     res.SyncRate,
+			AsyncRate:    res.AsyncRate,
+			Speedup:      res.Speedup,
+			RelGap:       res.RelGap,
+			StaleApplied: res.StaleApplied,
+			StaleDropped: res.StaleDropped,
+		}
+		if err := mergeBenchEntry(outPath, "async_skew", rep); err != nil {
 			return err
 		}
 	}

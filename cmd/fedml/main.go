@@ -174,18 +174,22 @@ func (c *commonFlags) buildWorkload() (*data.Federation, nn.Model, error) {
 // faultFlags holds the resilience and chaos-injection flags shared by the
 // train and platform modes.
 type faultFlags struct {
-	roundTimeout time.Duration
-	minNodes     int
-	guard        float64
-	statePath    string
-	stateEvery   int
-	resume       bool
-	chaosSpec    string
-	chaosSeed    uint64
-	chaosDrop    float64
-	chaosCorrupt float64
-	chaosLatency time.Duration
-	chaosJitter  time.Duration
+	roundTimeout   time.Duration
+	minNodes       int
+	guard          float64
+	statePath      string
+	stateEvery     int
+	resume         bool
+	async          bool
+	stalenessDecay float64
+	maxStaleness   int
+	asyncQuorum    float64
+	chaosSpec      string
+	chaosSeed      uint64
+	chaosDrop      float64
+	chaosCorrupt   float64
+	chaosLatency   time.Duration
+	chaosJitter    time.Duration
 }
 
 func addFaultFlags(fs *flag.FlagSet) *faultFlags {
@@ -196,7 +200,11 @@ func addFaultFlags(fs *flag.FlagSet) *faultFlags {
 	fs.StringVar(&f.statePath, "state", "", "snapshot (round, iter, θ, stats) to this file for crash recovery")
 	fs.IntVar(&f.stateEvery, "state-every", 1, "with -state: snapshot every N aggregated rounds")
 	fs.BoolVar(&f.resume, "resume", false, "resume from the -state snapshot when it exists")
-	fs.StringVar(&f.chaosSpec, "chaos", "", `scripted faults "<node>:<op>@<round>,..." with ops kill, revive, part-send, part-recv, heal, corrupt, drop, send-err`)
+	fs.BoolVar(&f.async, "async", false, "buffered-async aggregation: apply updates as they arrive with staleness-decayed weights (requires -round-timeout)")
+	fs.Float64Var(&f.stalenessDecay, "staleness-decay", 0.6, "with -async: per-round weight decay α for stale updates (w = ω·α^staleness)")
+	fs.IntVar(&f.maxStaleness, "max-staleness", 4, "with -async: drop updates (and suspect nodes) more than this many aggregations behind")
+	fs.Float64Var(&f.asyncQuorum, "async-quorum", 0.8, "with -async: fraction of the round's dispatched updates to wait for before aggregating")
+	fs.StringVar(&f.chaosSpec, "chaos", "", `scripted faults "<node>:<op>@<round>,..." with ops kill, revive, part-send, part-recv, heal, corrupt, drop, send-err, slow=<dur>`)
 	fs.Uint64Var(&f.chaosSeed, "chaos-seed", 1, "seed for the injected-fault random streams")
 	fs.Float64Var(&f.chaosDrop, "chaos-drop", 0, "per-message drop probability")
 	fs.Float64Var(&f.chaosCorrupt, "chaos-corrupt", 0, "per-update payload corruption probability")
@@ -214,6 +222,12 @@ func (f *faultFlags) apply(cfg *core.Config) error {
 	cfg.CheckpointPath = f.statePath
 	cfg.CheckpointEvery = f.stateEvery
 	cfg.Resume = f.resume
+	if f.async {
+		cfg.Async = true
+		cfg.StalenessDecay = f.stalenessDecay
+		cfg.MaxStaleness = f.maxStaleness
+		cfg.AsyncQuorum = f.asyncQuorum
+	}
 	chaosOn := f.chaosSpec != "" || f.chaosDrop > 0 || f.chaosCorrupt > 0 ||
 		f.chaosLatency > 0 || f.chaosJitter > 0
 	if !chaosOn {
@@ -280,11 +294,15 @@ func (o *obsFlags) start() (obs.RoundObserver, func() error, error) {
 
 // printResilience summarizes the fault accounting of a finished run.
 func printResilience(stats core.CommStats) {
-	if stats.Dropped+stats.Rejoined+stats.Rejected+stats.SkippedRounds == 0 {
+	if stats.Dropped+stats.Rejoined+stats.Rejected+stats.SkippedRounds+stats.StaleApplied+stats.StaleDropped == 0 {
 		return
 	}
 	fmt.Printf("resilience: %d dropped, %d rejoined, %d updates rejected, %d rounds skipped\n",
 		stats.Dropped, stats.Rejoined, stats.Rejected, stats.SkippedRounds)
+	if stats.StaleApplied+stats.StaleDropped > 0 {
+		fmt.Printf("staleness: %d updates applied late (decayed), %d dropped past the bound\n",
+			stats.StaleApplied, stats.StaleDropped)
+	}
 }
 
 func (c *commonFlags) trainConfig(track func(round, iter int, theta tensor.Vec)) core.Config {
@@ -343,6 +361,9 @@ func runTrain(args []string) error {
 		comm  core.CommStats
 	)
 	if *shards > 0 {
+		if cfg.Async {
+			return fmt.Errorf("-async is not supported with -shards (the async consistency model is flat-platform only)")
+		}
 		theta, comm, err = trainSharded(m, fed, cfg, *shards, of.metricsOut)
 	} else {
 		var res *core.Result
@@ -562,7 +583,11 @@ func runPlatform(args []string) error {
 			links[i] = cfg.WrapLink(i, links[i])
 		}
 	}
-	theta, stats, err := core.RunPlatform(links, weights, theta0, cfg)
+	runPlat := core.RunPlatform
+	if cfg.Async {
+		runPlat = core.RunAsyncPlatform
+	}
+	theta, stats, err := runPlat(links, weights, theta0, cfg)
 	if err != nil {
 		_ = closeObs()
 		return err

@@ -32,7 +32,9 @@ type RunState struct {
 	// Theta is the aggregated global parameter vector after Round.
 	Theta []float64 `json:"theta"`
 
-	// Communication accounting carried across the crash.
+	// Communication accounting carried across the crash. The stale counters
+	// were added for async mode; snapshots written before then decode with
+	// zero values, so no version bump is needed.
 	Rounds        int   `json:"rounds"`
 	Messages      int   `json:"messages"`
 	Bytes         int64 `json:"bytes"`
@@ -40,6 +42,8 @@ type RunState struct {
 	Rejoined      int   `json:"rejoined"`
 	Rejected      int   `json:"rejected"`
 	SkippedRounds int   `json:"skipped_rounds"`
+	StaleApplied  int   `json:"stale_applied,omitempty"`
+	StaleDropped  int   `json:"stale_dropped,omitempty"`
 }
 
 // Validate checks internal consistency.

@@ -282,6 +282,27 @@ func (ls *linkSet) rejoin(i, round int) {
 	ls.logf("core: node %d rejoined in round %d (%d alive)", ls.base+i, round, ls.aliveCnt)
 }
 
+// markStaleApply accounts an update applied at positive staleness s with a
+// decayed weight (async mode). Like the billing helpers above, this is the
+// only place either the counter or the event side changes, so counter/event
+// parity holds by construction.
+func (ls *linkSet) markStaleApply(i, round, s int) {
+	ls.stats.StaleApplied++
+	if ls.obs != nil {
+		ls.obs.Observe(obs.Event{Type: obs.TypeStaleApply, Round: round, Node: ls.base + i, Value: float64(s)})
+	}
+}
+
+// markStaleDrop accounts an update discarded because its staleness exceeded
+// the MaxStaleness drop bound (async mode).
+func (ls *linkSet) markStaleDrop(i, round, s int) {
+	ls.stats.StaleDropped++
+	if ls.obs != nil {
+		ls.obs.Observe(obs.Event{Type: obs.TypeStaleDrop, Round: round, Node: ls.base + i, Value: float64(s)})
+	}
+	ls.logf("core: dropped stale update from node %d in round %d (staleness %d > max %d)", ls.base+i, round, s, ls.c.MaxStaleness)
+}
+
 // bindNodeID validates the claimed NodeID of an update from link i against
 // the binding learned from that link's first update.
 func (ls *linkSet) bindNodeID(i, id int) error {
@@ -310,11 +331,18 @@ func (ls *linkSet) gatherFrom(i, round, dim int, d time.Duration) (transport.Msg
 		if ls.ft {
 			remain = time.Until(deadline)
 			if remain <= 0 {
-				return transport.Msg{}, fmt.Errorf("core: gather round %d from node %d: %w", round, ls.base+i, transport.ErrTimeout)
+				// The overall gather budget was consumed by earlier traffic
+				// on this link (stale drains) before a receive could even be
+				// issued — distinct from a receive that waited and timed out
+				// below, so suspect causes name the budget that ran out.
+				return transport.Msg{}, fmt.Errorf("core: gather round %d from node %d: %v round budget exhausted before receive: %w", round, ls.base+i, d, transport.ErrTimeout)
 			}
 		}
 		msg, err := ls.ops.recv(i, remain)
 		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				return transport.Msg{}, fmt.Errorf("core: gather round %d from node %d: receive timed out after waiting the final %v of the %v budget: %w", round, ls.base+i, remain, d, err)
+			}
 			return transport.Msg{}, fmt.Errorf("core: gather round %d from node %d: %w", round, ls.base+i, err)
 		}
 		switch {
@@ -347,6 +375,39 @@ func (ls *linkSet) gatherFrom(i, round, dim int, d time.Duration) (transport.Msg
 		}
 		return msg, nil
 	}
+}
+
+// asyncGather waits up to d for one update from link i, accepting a reply
+// to any round or θ-version — the async loop weighs staleness at apply time
+// instead of discarding late answers, so there is no stale-drain loop here.
+// Codec decode, shape, and NodeID binding are validated exactly like
+// gatherFrom; decode failures return the message alongside the error so the
+// caller can bill the bytes that crossed the wire.
+func (ls *linkSet) asyncGather(i, round, dim int, d time.Duration) (transport.Msg, error) {
+	msg, err := ls.ops.recv(i, d)
+	if err != nil {
+		return transport.Msg{}, fmt.Errorf("core: async gather from node %d in round %d: %w", ls.base+i, round, err)
+	}
+	switch {
+	case msg.Kind == transport.KindError:
+		return transport.Msg{}, fmt.Errorf("core: node %d failed in round %d: %s", msg.NodeID, round, msg.Err)
+	case msg.Kind != transport.KindUpdate:
+		return transport.Msg{}, fmt.Errorf("%w: expected update, got %v from node %d", ErrProtocol, msg.Kind, ls.base+i)
+	}
+	if msg.Codec != "" || len(msg.Payload) > 0 {
+		if err := ls.decodeUp(i, &msg); err != nil {
+			return msg, err
+		}
+		if len(msg.Params) != dim {
+			return msg, fmt.Errorf("%w: node %d payload decoded to %d params, want %d", errDecode, ls.base+i, len(msg.Params), dim)
+		}
+	} else if len(msg.Params) != dim {
+		return transport.Msg{}, fmt.Errorf("%w: node %d sent %d params, want %d", ErrProtocol, ls.base+i, len(msg.Params), dim)
+	}
+	if err := ls.bindNodeID(i, msg.NodeID); err != nil {
+		return transport.Msg{}, err
+	}
+	return msg, nil
 }
 
 // gatherRound runs one node-facing round: broadcast theta (with step count

@@ -220,10 +220,14 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 			// Ownership of Msg.Params/Payload transfers to the receiver on
 			// Send (see transport.Msg); theta is the node's reusable buffer,
 			// so a copy (or a fresh encoding) must cross the boundary.
+			// Version echoes the broadcast's θ-version tag so an async
+			// platform can compute the update's staleness; zero (and
+			// harmless) on the sync path.
 			reply := transport.Msg{
-				Kind:   transport.KindUpdate,
-				Round:  msg.Round,
-				NodeID: nc.ID,
+				Kind:    transport.KindUpdate,
+				Round:   msg.Round,
+				NodeID:  nc.ID,
+				Version: msg.Version,
 			}
 			if msg.Codec != "" {
 				payload, eerr := upEnc.Encode(theta)

@@ -19,6 +19,7 @@ func statsAsTotals(s CommStats) obs.Totals {
 		Rounds: s.Rounds, Messages: s.Messages, Bytes: s.Bytes,
 		Dropped: s.Dropped, Rejoined: s.Rejoined, Rejected: s.Rejected,
 		SkippedRounds: s.SkippedRounds,
+		StaleApplied:  s.StaleApplied, StaleDropped: s.StaleDropped,
 	}
 }
 

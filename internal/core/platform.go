@@ -40,6 +40,12 @@ type CommStats struct {
 	// SkippedRounds counts fault-tolerant rounds that produced no usable
 	// update and therefore aggregated nothing.
 	SkippedRounds int
+	// StaleApplied counts async-mode updates applied at positive staleness
+	// (weighted by StalenessDecay^s). Always zero on the sync path.
+	StaleApplied int
+	// StaleDropped counts async-mode updates discarded because their
+	// staleness exceeded MaxStaleness. Always zero on the sync path.
+	StaleDropped int
 }
 
 // add accumulates other into s field by field.
@@ -51,6 +57,8 @@ func (s *CommStats) add(other CommStats) {
 	s.Rejoined += other.Rejoined
 	s.Rejected += other.Rejected
 	s.SkippedRounds += other.SkippedRounds
+	s.StaleApplied += other.StaleApplied
+	s.StaleDropped += other.StaleDropped
 }
 
 // RunPlatform executes the platform side of Algorithms 1/2: broadcast the

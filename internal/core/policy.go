@@ -154,6 +154,8 @@ func saveSnapshot(path string, round, iter, t0 int, dispersion float64, theta te
 		Rejoined:      stats.Rejoined,
 		Rejected:      stats.Rejected,
 		SkippedRounds: stats.SkippedRounds,
+		StaleApplied:  stats.StaleApplied,
+		StaleDropped:  stats.StaleDropped,
 	}
 	if err := checkpoint.SaveRunState(path, st); err != nil {
 		return fmt.Errorf("core: checkpoint round %d: %w", round, err)
@@ -167,5 +169,6 @@ func statsFromSnapshot(st *checkpoint.RunState) CommStats {
 		Rounds: st.Rounds, Messages: st.Messages, Bytes: st.Bytes,
 		Dropped: st.Dropped, Rejoined: st.Rejoined, Rejected: st.Rejected,
 		SkippedRounds: st.SkippedRounds,
+		StaleApplied:  st.StaleApplied, StaleDropped: st.StaleDropped,
 	}
 }

@@ -195,6 +195,8 @@ func shardStatsOf(s CommStats) transport.ShardStats {
 		Rejoined:      s.Rejoined,
 		Rejected:      s.Rejected,
 		SkippedRounds: s.SkippedRounds,
+		StaleApplied:  s.StaleApplied,
+		StaleDropped:  s.StaleDropped,
 	}
 }
 
@@ -208,5 +210,7 @@ func statsOfShard(s transport.ShardStats) CommStats {
 		Rejoined:      s.Rejoined,
 		Rejected:      s.Rejected,
 		SkippedRounds: s.SkippedRounds,
+		StaleApplied:  s.StaleApplied,
+		StaleDropped:  s.StaleDropped,
 	}
 }

@@ -41,10 +41,11 @@ func (l *SimNodeLink) Send(m transport.Msg) error {
 			return fmt.Errorf("simnode %d: compressed broadcast (codec %q); SimNodeLink is raw-only", l.ID, m.Codec)
 		}
 		reply := transport.Msg{
-			Kind:   transport.KindUpdate,
-			Round:  m.Round,
-			NodeID: l.ID,
-			Params: l.Update(l.ID, m.Round, m.LocalSteps, m.Params),
+			Kind:    transport.KindUpdate,
+			Round:   m.Round,
+			NodeID:  l.ID,
+			Version: m.Version,
+			Params:  l.Update(l.ID, m.Round, m.LocalSteps, m.Params),
 		}
 		l.pending = &reply
 		return nil

@@ -72,7 +72,11 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 		}(i, nd)
 	}
 
-	theta, stats, platformErr := RunPlatform(platformLinks, fed.Weights(), theta0, c)
+	run := RunPlatform
+	if c.Async {
+		run = RunAsyncPlatform
+	}
+	theta, stats, platformErr := run(platformLinks, fed.Weights(), theta0, c)
 
 	// Tear down the links so nodes blocked on Recv (after a platform-side
 	// failure) unblock, then collect node errors.

@@ -151,6 +151,13 @@ func All() []Experiment {
 			},
 		},
 		{
+			ID:          "ext-async",
+			Description: "Extension: buffered-async vs sync round throughput under latency skew",
+			Run: func(s Scale, workers int) (Renderable, error) {
+				return RunExtAsync(DefaultExtAsyncConfig(s))
+			},
+		},
+		{
 			ID:          "ext-scale",
 			Description: "Extension: fleet-scale two-tier aggregation (10⁵–10⁶ simulated nodes/round)",
 			Run: func(s Scale, workers int) (Renderable, error) {

@@ -5,7 +5,7 @@ import "expvar"
 // ExpvarSink mirrors the CommStats counters into an expvar.Map, so a live
 // training process serves them at /debug/vars next to net/http/pprof (the
 // cmd/fedml -pprof endpoint). Map keys: rounds, messages, bytes, dropped,
-// rejoined, rejected, skipped_rounds.
+// rejoined, rejected, skipped_rounds, stale_applied, stale_dropped.
 type ExpvarSink struct {
 	m *expvar.Map
 }
@@ -41,5 +41,9 @@ func (s *ExpvarSink) Observe(e Event) {
 		s.m.Add("rejoined", 1)
 	case TypeReject:
 		s.m.Add("rejected", 1)
+	case TypeStaleApply:
+		s.m.Add("stale_applied", 1)
+	case TypeStaleDrop:
+		s.m.Add("stale_dropped", 1)
 	}
 }

@@ -68,6 +68,15 @@ const (
 	// round (Value). Emitted by callers (e.g. cmd/fedml's round tracker),
 	// not by the core loop, which never evaluates the objective itself.
 	TypeMetaLoss
+	// TypeStaleApply records an async-mode update applied at positive
+	// staleness with a decayed weight: Value is the staleness (rounds
+	// between the θ-version the update was computed against and the one it
+	// was applied to). One per CommStats.StaleApplied.
+	TypeStaleApply
+	// TypeStaleDrop records an async-mode update discarded because its
+	// staleness (Value) exceeded Config.MaxStaleness. One per
+	// CommStats.StaleDropped.
+	TypeStaleDrop
 )
 
 // String implements fmt.Stringer.
@@ -97,6 +106,10 @@ func (t Type) String() string {
 		return "adv_regen"
 	case TypeMetaLoss:
 		return "meta_loss"
+	case TypeStaleApply:
+		return "stale_apply"
+	case TypeStaleDrop:
+		return "stale_drop"
 	default:
 		return fmt.Sprintf("Type(%d)", int(t))
 	}
@@ -190,6 +203,8 @@ type Totals struct {
 	Rejoined      int   `json:"rejoined"`
 	Rejected      int   `json:"rejected"`
 	SkippedRounds int   `json:"skipped_rounds"`
+	StaleApplied  int   `json:"stale_applied"`
+	StaleDropped  int   `json:"stale_dropped"`
 }
 
 // observe folds one event into the totals.
@@ -208,5 +223,9 @@ func (t *Totals) observe(e Event) {
 		t.Rejoined++
 	case TypeReject:
 		t.Rejected++
+	case TypeStaleApply:
+		t.StaleApplied++
+	case TypeStaleDrop:
+		t.StaleDropped++
 	}
 }

@@ -4,8 +4,10 @@ import "time"
 
 // SchemaVersion is the wire version stamped on every RoundRecord. Bump it
 // whenever a field changes meaning or shape; the golden-schema test pins the
-// exact serialized form so drift cannot ship silently.
-const SchemaVersion = 1
+// exact serialized form so drift cannot ship silently. v2 added the async
+// staleness accounting (stale_applied/stale_dropped, per-round and
+// cumulative).
+const SchemaVersion = 2
 
 // NodeCause names a node and why it was dropped or its update rejected.
 type NodeCause struct {
@@ -55,6 +57,12 @@ type RoundRecord struct {
 	Rejected []NodeCause `json:"rejected,omitempty"`
 	// Skipped marks a fault-tolerant round that aggregated nothing.
 	Skipped bool `json:"skipped,omitempty"`
+	// StaleApplied and StaleDropped are this round's async staleness
+	// deltas: updates applied at positive staleness with a decayed weight,
+	// and updates discarded past the MaxStaleness drop bound. Always zero
+	// on the sync path.
+	StaleApplied int `json:"stale_applied,omitempty"`
+	StaleDropped int `json:"stale_dropped,omitempty"`
 	// Nodes carries per-node compute timings, in arrival order.
 	Nodes []NodeTiming `json:"nodes,omitempty"`
 	// Cum is the cumulative totals after this round.
@@ -117,6 +125,10 @@ func (b *builder) observe(e Event) *RoundRecord {
 	case TypeMetaLoss:
 		v := e.Value
 		r.Loss = &v
+	case TypeStaleApply:
+		r.StaleApplied++
+	case TypeStaleDrop:
+		r.StaleDropped++
 	}
 	r.Cum = b.cum
 	return done

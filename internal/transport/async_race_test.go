@@ -82,3 +82,124 @@ func TestAsyncDoubleCloseConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestAsyncDeepQueueUnderLatency drives an Async wrapper at queue depth 4
+// over a chaos link with per-message latency: sends must pipeline (all four
+// accepted without waiting out the per-message delay), every queued message
+// must eventually be delivered in order, and nothing may be lost or
+// duplicated. This is the transport posture the buffered-async platform loop
+// relies on for straggler nodes.
+func TestAsyncDeepQueueUnderLatency(t *testing.T) {
+	const depth = 4
+	p, n := Pair()
+	chaos := NewChaos(p, ChaosConfig{Seed: 9, Latency: 20 * time.Millisecond})
+	a := NewAsync(chaos, depth)
+	defer a.Close()
+	defer n.Close()
+	go func() {
+		for {
+			m, err := n.Recv()
+			if err != nil || m.Kind == KindDone {
+				return
+			}
+			if n.Send(Msg{Kind: KindUpdate, Round: m.Round, NodeID: 0}) != nil {
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	for r := 1; r <= depth; r++ {
+		if err := a.TrySend(Msg{Kind: KindParams, Round: r, Params: []float64{1}}, time.Second); err != nil {
+			t.Fatalf("queued send %d: %v", r, err)
+		}
+	}
+	// Four sends into a depth-4 queue must not serialize on the 20ms
+	// per-message latency (the pump owns the delay, not the caller).
+	if queued := time.Since(start); queued > 15*time.Millisecond {
+		t.Errorf("queueing %d sends took %v, want fast-path enqueue", depth, queued)
+	}
+	for r := 1; r <= depth; r++ {
+		m, err := a.TryRecv(2 * time.Second)
+		if err != nil {
+			t.Fatalf("echo %d: %v", r, err)
+		}
+		if m.Round != r {
+			t.Fatalf("echo out of order: got round %d, want %d", m.Round, r)
+		}
+	}
+}
+
+// TestAsyncDeepQueueCloseVsTryOps repeats the close-vs-ops hammer at queue
+// depth 3 with chaos latency and jitter in the path, so teardown races
+// against messages still sitting in the send queue and delay timers still
+// pending inside the chaos pumps.
+func TestAsyncDeepQueueCloseVsTryOps(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		p, n := Pair()
+		chaos := NewChaos(p, ChaosConfig{
+			Seed:    uint64(iter),
+			Latency: 200 * time.Microsecond,
+			Jitter:  200 * time.Microsecond,
+		})
+		a := NewAsync(chaos, 3)
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(3)
+		go func() { // peer echo until its link dies
+			defer wg.Done()
+			for {
+				m, err := n.Recv()
+				if err != nil {
+					return
+				}
+				if n.Send(m) != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for r := 1; ; r++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = a.TrySend(Msg{Kind: KindParams, Round: r}, time.Millisecond)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _ = a.TryRecv(time.Millisecond)
+			}
+		}()
+
+		time.Sleep(2 * time.Millisecond)
+		_ = a.Close()
+		_ = n.Close()
+		close(stop)
+		wg.Wait()
+
+		if err := a.TrySend(Msg{}, 10*time.Millisecond); err == nil {
+			t.Fatal("TrySend succeeded on a closed Async")
+		}
+		// TryRecv may still drain messages queued before the close; after the
+		// queue empties it must fail, not hang.
+		for i := 0; ; i++ {
+			if _, err := a.TryRecv(10 * time.Millisecond); err != nil {
+				break
+			}
+			if i > 3 { // queue depth is 3; anything more is a leak
+				t.Fatal("TryRecv kept producing messages on a closed Async")
+			}
+		}
+	}
+}

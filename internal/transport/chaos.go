@@ -39,6 +39,10 @@ const (
 	OpDrop
 	// OpSendErr makes the next platform→node Send fail with ErrInjected.
 	OpSendErr
+	// OpSlow sets a scripted per-link latency (ChaosEvent.Arg) added to
+	// every delivered message from the firing round on — a straggler knob
+	// independent of the uniform Latency/Jitter. Arg 0 clears it.
+	OpSlow
 )
 
 var chaosOpNames = map[string]ChaosOp{
@@ -50,6 +54,7 @@ var chaosOpNames = map[string]ChaosOp{
 	"corrupt":   OpCorrupt,
 	"drop":      OpDrop,
 	"send-err":  OpSendErr,
+	"slow":      OpSlow,
 }
 
 // String implements fmt.Stringer.
@@ -67,6 +72,9 @@ func (op ChaosOp) String() string {
 type ChaosEvent struct {
 	Round int
 	Op    ChaosOp
+	// Arg parameterizes ops that take a value: for OpSlow it is the
+	// scripted per-link latency (0 clears it). Ignored by every other op.
+	Arg time.Duration
 }
 
 // ChaosConfig parameterizes a Chaos link. The zero value injects nothing.
@@ -113,6 +121,7 @@ type Chaos struct {
 	corruptNext  int
 	dropNext     int
 	sendErrNext  int
+	slow         time.Duration // scripted per-link latency (OpSlow)
 
 	// Stats count injected faults (under mu); useful for assertions.
 	Dropped   int
@@ -160,6 +169,8 @@ func (c *Chaos) observeRound(round int) {
 			c.dropNext++
 		case OpSendErr:
 			c.sendErrNext++
+		case OpSlow:
+			c.slow = ev.Arg
 		}
 	}
 }
@@ -167,10 +178,10 @@ func (c *Chaos) observeRound(round int) {
 // delay computes the next per-message latency. Called with mu held; the
 // caller sleeps after releasing the lock.
 func (c *Chaos) delay() time.Duration {
-	if c.cfg.Latency <= 0 && c.cfg.Jitter <= 0 {
+	if c.cfg.Latency <= 0 && c.cfg.Jitter <= 0 && c.slow <= 0 {
 		return 0
 	}
-	d := c.cfg.Latency
+	d := c.cfg.Latency + c.slow
 	if c.cfg.Jitter > 0 {
 		d += time.Duration(math.Abs(c.rand.Norm()) * float64(c.cfg.Jitter))
 	}
@@ -299,7 +310,9 @@ func (c *Chaos) Stats() (dropped, corrupted, errored int) {
 // ParseScenario parses a comma-separated chaos script of the form
 // "<node>:<op>@<round>", e.g. "3:kill@5,3:revive@9,1:corrupt@4", into
 // per-node event lists. Ops: kill, revive, part-send, part-recv, heal,
-// corrupt, drop, send-err.
+// corrupt, drop, send-err, slow. Ops that take an argument use
+// "<node>:<op>=<arg>@<round>"; slow takes a time.ParseDuration latency,
+// e.g. "2:slow=100ms@3" (and "2:slow=0s@9" clears it).
 func ParseScenario(s string) (map[int][]ChaosEvent, error) {
 	out := map[int][]ChaosEvent{}
 	if strings.TrimSpace(s) == "" {
@@ -311,7 +324,7 @@ func ParseScenario(s string) (map[int][]ChaosEvent, error) {
 		if !ok {
 			return nil, fmt.Errorf("transport: scenario %q: want <node>:<op>@<round>", part)
 		}
-		opName, roundStr, ok := strings.Cut(rest, "@")
+		opToken, roundStr, ok := strings.Cut(rest, "@")
 		if !ok {
 			return nil, fmt.Errorf("transport: scenario %q: missing @<round>", part)
 		}
@@ -319,15 +332,28 @@ func ParseScenario(s string) (map[int][]ChaosEvent, error) {
 		if err != nil || n < 0 {
 			return nil, fmt.Errorf("transport: scenario %q: bad node index", part)
 		}
+		opName, argStr, hasArg := strings.Cut(opToken, "=")
 		op, ok := chaosOpNames[strings.TrimSpace(opName)]
 		if !ok {
 			return nil, fmt.Errorf("transport: scenario %q: unknown op %q", part, opName)
+		}
+		var arg time.Duration
+		switch {
+		case op == OpSlow && !hasArg:
+			return nil, fmt.Errorf("transport: scenario %q: slow needs a duration (slow=<dur>)", part)
+		case op == OpSlow:
+			arg, err = time.ParseDuration(strings.TrimSpace(argStr))
+			if err != nil || arg < 0 {
+				return nil, fmt.Errorf("transport: scenario %q: bad slow duration %q", part, argStr)
+			}
+		case hasArg:
+			return nil, fmt.Errorf("transport: scenario %q: op %q takes no argument", part, opName)
 		}
 		r, err := strconv.Atoi(strings.TrimSpace(roundStr))
 		if err != nil || r < 1 {
 			return nil, fmt.Errorf("transport: scenario %q: bad round", part)
 		}
-		out[n] = append(out[n], ChaosEvent{Round: r, Op: op})
+		out[n] = append(out[n], ChaosEvent{Round: r, Op: op, Arg: arg})
 	}
 	return out, nil
 }

@@ -263,3 +263,69 @@ func TestChaosLatency(t *testing.T) {
 		t.Errorf("round trip took %v, want >= 60ms (two injected delays)", elapsed)
 	}
 }
+
+func TestParseScenarioSlow(t *testing.T) {
+	events, err := ParseScenario("2:slow=40ms@3,2:slow=0s@8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ChaosEvent{
+		{Round: 3, Op: OpSlow, Arg: 40 * time.Millisecond},
+		{Round: 8, Op: OpSlow, Arg: 0},
+	}
+	if len(events[2]) != 2 || events[2][0] != want[0] || events[2][1] != want[1] {
+		t.Errorf("node 2 events = %+v, want %+v", events[2], want)
+	}
+	for _, bad := range []string{
+		"2:slow@3",          // slow needs a duration argument
+		"2:slow=@3",         // empty duration
+		"2:slow=banana@3",   // unparseable duration
+		"2:slow=-10ms@3",    // negative duration
+		"2:kill=40ms@3",     // arg on an op that takes none
+		"2:corrupt=cksum@3", // arg on an op that takes none
+	} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) accepted", bad)
+		}
+	}
+}
+
+// TestChaosScenarioSlow checks that a scripted slow op injects per-message
+// latency from its round onward and that slow=0s clears it again.
+func TestChaosScenarioSlow(t *testing.T) {
+	p, n := Pair()
+	chaos := NewChaos(p, ChaosConfig{
+		Seed: 5,
+		Scenario: []ChaosEvent{
+			{Round: 2, Op: OpSlow, Arg: 25 * time.Millisecond},
+			{Round: 3, Op: OpSlow, Arg: 0},
+		},
+	})
+	defer chaos.Close()
+	defer n.Close()
+	go echoNode(n, 0)
+
+	rtt := func(round int) time.Duration {
+		t.Helper()
+		start := time.Now()
+		if err := chaos.Send(Msg{Kind: KindParams, Round: round, Params: []float64{1}}); err != nil {
+			t.Fatalf("send round %d: %v", round, err)
+		}
+		if _, err := chaos.Recv(); err != nil {
+			t.Fatalf("recv round %d: %v", round, err)
+		}
+		return time.Since(start)
+	}
+
+	if d := rtt(1); d > 20*time.Millisecond {
+		t.Errorf("round 1 (before slow) took %v", d)
+	}
+	// Round 2 triggers the slowdown: outbound and echo both delayed.
+	if d := rtt(2); d < 50*time.Millisecond {
+		t.Errorf("round 2 (slow=25ms) took %v, want >= 50ms", d)
+	}
+	// Round 3 clears it.
+	if d := rtt(3); d > 20*time.Millisecond {
+		t.Errorf("round 3 (after slow=0s) took %v", d)
+	}
+}

@@ -61,6 +61,13 @@ type Msg struct {
 	Round  int       `json:"round"`
 	NodeID int       `json:"node_id"`
 	Params []float64 `json:"params,omitempty"`
+	// Version tags the global parameter vector a message refers to: the
+	// platform stamps each KindParams broadcast with the number of
+	// aggregations applied to θ so far, and nodes echo it on the KindUpdate
+	// reply. The async platform computes an update's staleness as the
+	// difference between its current version and the echoed one. Zero on the
+	// sync path (which tracks freshness by Round instead).
+	Version int `json:"version,omitempty"`
 	// LocalSteps, when positive on a KindParams message, overrides the
 	// node's configured T0 for this round — the knob the platform uses to
 	// balance communication against local computation (§IV of the paper).
@@ -92,6 +99,8 @@ type ShardStats struct {
 	Rejoined      int   `json:"rejoined"`
 	Rejected      int   `json:"rejected"`
 	SkippedRounds int   `json:"skipped_rounds"`
+	StaleApplied  int   `json:"stale_applied"`
+	StaleDropped  int   `json:"stale_dropped"`
 }
 
 // Partial is the metadata block of a shard aggregator's round result. The
