@@ -110,7 +110,7 @@ bench:
 bench-json:
 	@mkdir -p $(BUILD_DIR)
 	$(GO) test -run '^$$' \
-		-bench 'Fig2aNodeSimilarity|MetaStep|FastAdaptation|GradInto' \
+		-bench 'Fig2aNodeSimilarity|MetaStep|FastAdaptation|GradInto|GradStepInto' \
 		-benchmem . | tee $(BUILD_DIR)/bench_output.txt | $(GO) run ./cmd/benchjson -out BENCH_fedml.json
 
 # CI regression gate: re-measure the bench-json suite into $(BUILD_DIR) and
@@ -119,7 +119,7 @@ bench-json:
 bench-check:
 	@mkdir -p $(BUILD_DIR)
 	$(GO) test -run '^$$' \
-		-bench 'Fig2aNodeSimilarity|MetaStep|FastAdaptation|GradInto' \
+		-bench 'Fig2aNodeSimilarity|MetaStep|FastAdaptation|GradInto|GradStepInto' \
 		-benchmem . | tee $(BUILD_DIR)/bench_output.txt | $(GO) run ./cmd/benchjson -out $(BUILD_DIR)/bench_current.json
 	$(GO) run ./cmd/benchjson compare BENCH_fedml.json $(BUILD_DIR)/bench_current.json
 

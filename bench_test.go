@@ -360,6 +360,39 @@ func BenchmarkGradInto(b *testing.B) {
 	}
 }
 
+// BenchmarkGradStepInto measures the fused gradient+descent-step kernel —
+// one pass over the parameter vector instead of gradient-write, copy, axpy —
+// that the fedavg/reptile/meta inner loops run. Steady state is expected to
+// report 0 allocs/op.
+func BenchmarkGradStepInto(b *testing.B) {
+	fed, sm := benchFederation(b)
+	batch := fed.Sources[0].Train
+	mlp, err := nn.NewMLP(nn.MLPConfig{Dims: []int{fed.Dim, 16, fed.NumClasses}, BatchNorm: true, L2: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		m    nn.Model
+	}{
+		{"softmax", sm},
+		{"mlp", mlp},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			theta := tc.m.InitParams(rng.New(1))
+			ws := nn.NewWorkspace(tc.m)
+			g := tensor.NewVec(tc.m.NumParams())
+			out := tensor.NewVec(tc.m.NumParams())
+			nn.GradStepInto(tc.m, ws, theta, batch, 0.05, g, out)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nn.GradStepInto(tc.m, ws, theta, batch, 0.05, g, out)
+			}
+		})
+	}
+}
+
 // BenchmarkMetaGradInto measures one full buffered meta-gradient (inner
 // step + outer gradient + HVP correction) — the workspace counterpart of
 // BenchmarkMetaStep's allocating path.

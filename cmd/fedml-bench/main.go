@@ -107,6 +107,14 @@ func run(args []string) error {
 	return nil
 }
 
+// parBenchPoint is one leg of the speedup curve: the fig2a grid timed at a
+// worker count, relative to the workers=1 leg.
+type parBenchPoint struct {
+	Workers    int     `json:"workers"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
 // parBenchReport is the JSON shape stored under "par_bench".
 type parBenchReport struct {
 	Experiment string `json:"experiment"`
@@ -118,10 +126,37 @@ type parBenchReport struct {
 	SerialNs   int64   `json:"serial_ns"`
 	ParallelNs int64   `json:"parallel_ns"`
 	Speedup    float64 `json:"speedup"`
-	// Degenerate marks a single-core host: both legs ran at effective
-	// parallelism 1, so Speedup measures overhead, not scaling.
+	// Degenerate marks a run whose effective parallelism never exceeded 1 —
+	// a single-core host, or an explicit -workers 1 — so Speedup measures
+	// worker-pool overhead, not scaling.
 	Degenerate      bool `json:"degenerate,omitempty"`
 	OutputIdentical bool `json:"output_identical"`
+	// Curve is the multi-worker sweep (doubling counts up to Workers);
+	// ParallelNs/Speedup above mirror its last (largest) leg.
+	Curve []parBenchPoint `json:"curve"`
+}
+
+// degenerateRun reports whether a serial-vs-parallel comparison ran at
+// effective parallelism ≤ 1, either because the host has a single core or
+// because the parallel leg was itself asked for one worker. It must depend
+// on the parallelism the run actually used: deriving it from GOMAXPROCS
+// alone recorded a `-workers 1` run on a multi-core box as a non-degenerate
+// ~1.0× "speedup".
+func degenerateRun(workers, gomaxprocs int) bool {
+	return workers <= 1 || gomaxprocs <= 1
+}
+
+// workerSweep returns the worker counts of the speedup curve: doubling from
+// 2 up to and including max, or just {1} when max ≤ 1.
+func workerSweep(max int) []int {
+	if max <= 1 {
+		return []int{1}
+	}
+	var counts []int
+	for w := 2; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	return append(counts, max)
 }
 
 // scaleBenchReport is the JSON shape stored under "ext_scale".
@@ -172,9 +207,10 @@ func mergeBenchEntry(path, key string, entry any) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-// runParBench times the fig2a grid serially and at the requested worker
-// count, checks the rendered outputs are byte-identical (the par contract),
-// and prints — and optionally writes — the measurements.
+// runParBench times the fig2a grid serially and then across a doubling
+// sweep of worker counts up to the requested one, checks every rendered
+// output is byte-identical to the serial one (the par contract), and prints
+// — and optionally writes — the speedup curve.
 func runParBench(scale experiments.Scale, workers int, outPath string) error {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -186,31 +222,39 @@ func runParBench(scale experiments.Scale, workers int, outPath string) error {
 	}
 	serialNs := time.Since(start).Nanoseconds()
 
-	start = time.Now()
-	parOut, err := experiments.Run("fig2a", scale, workers)
-	if err != nil {
-		return fmt.Errorf("par-bench parallel run: %w", err)
+	curve := make([]parBenchPoint, 0, 8)
+	for _, w := range workerSweep(workers) {
+		start = time.Now()
+		parOut, err := experiments.Run("fig2a", scale, w)
+		if err != nil {
+			return fmt.Errorf("par-bench workers=%d run: %w", w, err)
+		}
+		ns := time.Since(start).Nanoseconds()
+		if parOut != serialOut {
+			return fmt.Errorf("par-bench: workers=1 and workers=%d outputs differ — determinism contract violated", w)
+		}
+		curve = append(curve, parBenchPoint{Workers: w, ParallelNs: ns, Speedup: float64(serialNs) / float64(ns)})
 	}
-	parNs := time.Since(start).Nanoseconds()
 
+	last := curve[len(curve)-1]
 	rep := parBenchReport{
 		Experiment:      "fig2a",
 		Scale:           scale.String(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		Workers:         workers,
 		SerialNs:        serialNs,
-		ParallelNs:      parNs,
-		Speedup:         float64(serialNs) / float64(parNs),
-		Degenerate:      runtime.GOMAXPROCS(0) == 1,
-		OutputIdentical: serialOut == parOut,
+		ParallelNs:      last.ParallelNs,
+		Speedup:         last.Speedup,
+		Degenerate:      degenerateRun(workers, runtime.GOMAXPROCS(0)),
+		OutputIdentical: true,
 	}
-	fmt.Printf("par-bench fig2a (scale=%s): serial %.2fs, workers=%d %.2fs, speedup %.2fx, identical=%v\n",
-		rep.Scale, float64(serialNs)/1e9, workers, float64(parNs)/1e9, rep.Speedup, rep.OutputIdentical)
+	rep.Curve = curve
+	fmt.Printf("par-bench fig2a (scale=%s): serial %.2fs\n", rep.Scale, float64(serialNs)/1e9)
+	for _, p := range curve {
+		fmt.Printf("  workers=%-3d %.2fs, speedup %.2fx\n", p.Workers, float64(p.ParallelNs)/1e9, p.Speedup)
+	}
 	if rep.Degenerate {
-		fmt.Println("par-bench: GOMAXPROCS=1 — both legs ran serially, so the speedup measures worker-pool overhead, not scaling")
-	}
-	if !rep.OutputIdentical {
-		return fmt.Errorf("par-bench: workers=1 and workers=%d outputs differ — determinism contract violated", workers)
+		fmt.Println("par-bench: effective parallelism never exceeded 1 — the speedup measures worker-pool overhead, not scaling")
 	}
 	if outPath != "" {
 		if err := mergeBenchEntry(outPath, "par_bench", rep); err != nil {

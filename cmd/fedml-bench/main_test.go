@@ -48,3 +48,53 @@ func TestBadFlag(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+// Regression for the Degenerate flag: it used to be derived from
+// runtime.GOMAXPROCS alone, so a `-workers 1` run on a multi-core box was
+// recorded as a non-degenerate ~1.0× "speedup". It must depend on the
+// parallelism the run actually used.
+func TestDegenerateRun(t *testing.T) {
+	cases := []struct {
+		workers, gomaxprocs int
+		want                bool
+	}{
+		{workers: 1, gomaxprocs: 8, want: true}, // the original bug: -workers 1 on a multi-core host
+		{workers: 8, gomaxprocs: 1, want: true}, // single-core host: workers contend for one P
+		{workers: 1, gomaxprocs: 1, want: true},
+		{workers: 2, gomaxprocs: 2, want: false},
+		{workers: 8, gomaxprocs: 8, want: false},
+	}
+	for _, c := range cases {
+		if got := degenerateRun(c.workers, c.gomaxprocs); got != c.want {
+			t.Errorf("degenerateRun(workers=%d, gomaxprocs=%d) = %v, want %v", c.workers, c.gomaxprocs, got, c.want)
+		}
+	}
+}
+
+func TestWorkerSweep(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{max: 0, want: []int{1}},
+		{max: 1, want: []int{1}},
+		{max: 2, want: []int{2}},
+		{max: 3, want: []int{2, 3}},
+		{max: 6, want: []int{2, 4, 6}},
+		{max: 8, want: []int{2, 4, 8}},
+		{max: 9, want: []int{2, 4, 8, 9}},
+	}
+	for _, c := range cases {
+		got := workerSweep(c.max)
+		if len(got) != len(c.want) {
+			t.Errorf("workerSweep(%d) = %v, want %v", c.max, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("workerSweep(%d) = %v, want %v", c.max, got, c.want)
+				break
+			}
+		}
+	}
+}

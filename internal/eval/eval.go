@@ -117,14 +117,20 @@ type AdaptPoint struct {
 // accuracy after every step. Entry 0 is the un-adapted model.
 func AdaptationCurve(m nn.Model, theta tensor.Vec, node *data.NodeDataset, alpha float64, maxSteps int) []AdaptPoint {
 	curve := make([]AdaptPoint, 0, maxSteps+1)
+	// One workspace serves the whole curve: each adaptation step is the
+	// fused gradient+step kernel and each loss evaluation reuses the same
+	// scratch, instead of allocating per step. Numbers are unchanged — the
+	// buffered kernels are bit-identical to the allocating ones.
+	ws := nn.NewWorkspace(m)
+	g := tensor.NewVec(m.NumParams())
 	phi := theta.Clone()
 	for step := 0; step <= maxSteps; step++ {
 		if step > 0 {
-			phi.Axpy(-alpha, m.Grad(phi, node.Train))
+			nn.GradStepInto(m, ws, phi, node.Train, alpha, g, phi)
 		}
 		curve = append(curve, AdaptPoint{
 			Step:     step,
-			Loss:     m.Loss(phi, node.Test),
+			Loss:     nn.LossWith(m, ws, phi, node.Test),
 			Accuracy: nn.Accuracy(m, phi, node.Test),
 		})
 	}
@@ -175,10 +181,12 @@ func averageCurves(curves [][]AdaptPoint, maxSteps int) []AdaptPoint {
 // parameters) — the Figure 4 protocol. Entry 0 is the un-adapted model.
 func AdversarialAdaptationCurve(m nn.Model, theta tensor.Vec, node *data.NodeDataset, alpha float64, maxSteps int, xi, clampMin, clampMax float64) ([]AdaptPoint, error) {
 	curve := make([]AdaptPoint, 0, maxSteps+1)
+	ws := nn.NewWorkspace(m)
+	g := tensor.NewVec(m.NumParams())
 	phi := theta.Clone()
 	for step := 0; step <= maxSteps; step++ {
 		if step > 0 {
-			phi.Axpy(-alpha, m.Grad(phi, node.Train))
+			nn.GradStepInto(m, ws, phi, node.Train, alpha, g, phi)
 		}
 		advTest, err := dro.FGSMBatch(m, phi, node.Test, xi, clampMin, clampMax)
 		if err != nil {
@@ -186,7 +194,7 @@ func AdversarialAdaptationCurve(m nn.Model, theta tensor.Vec, node *data.NodeDat
 		}
 		curve = append(curve, AdaptPoint{
 			Step:     step,
-			Loss:     m.Loss(phi, advTest),
+			Loss:     nn.LossWith(m, ws, phi, advTest),
 			Accuracy: nn.Accuracy(m, phi, advTest),
 		})
 	}

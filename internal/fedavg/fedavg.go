@@ -141,13 +141,17 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 			ti := updates[i]
 			ti.CopyFrom(theta)
 			for t := 0; t < cfg.T0; t++ {
-				nn.GradInto(m, sc.ws, ti, local[i], sc.g)
 				if cfg.ProxMu > 0 {
-					// ∇[(μ/2)‖θ_i − θ_global‖²] = μ(θ_i − θ_global).
+					// ∇[(μ/2)‖θ_i − θ_global‖²] = μ(θ_i − θ_global); the
+					// proximal term modifies the gradient, so the step
+					// cannot fuse.
+					nn.GradInto(m, sc.ws, ti, local[i], sc.g)
 					sc.g.Axpy(cfg.ProxMu, ti)
 					sc.g.Axpy(-cfg.ProxMu, theta)
+					ti.Axpy(-cfg.Eta, sc.g)
+				} else {
+					nn.GradStepInto(m, sc.ws, ti, local[i], cfg.Eta, sc.g, ti)
 				}
-				ti.Axpy(-cfg.Eta, sc.g)
 			}
 			if !ti.IsFinite() {
 				return fmt.Errorf("fedavg: node %d diverged in round %d", i, round)

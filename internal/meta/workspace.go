@@ -43,11 +43,11 @@ func NewWorkspace(m nn.Model) *Workspace {
 func (ws *Workspace) Model() nn.Model { return ws.m }
 
 // InnerStepInto computes φ = θ − α∇L(θ, train) (Eq. 3) into the workspace
-// and returns it. The result is valid until the next call on ws.
+// and returns it, via the fused gradient+step kernel (one pass over the
+// parameter vector instead of gradient-write, copy, axpy). The result is
+// valid until the next call on ws.
 func (ws *Workspace) InnerStepInto(theta tensor.Vec, train []data.Sample, alpha float64) tensor.Vec {
-	nn.GradInto(ws.m, ws.nws, theta, train, ws.gInner)
-	ws.phi.CopyFrom(theta)
-	ws.phi.Axpy(-alpha, ws.gInner)
+	nn.GradStepInto(ws.m, ws.nws, theta, train, alpha, ws.gInner, ws.phi)
 	return ws.phi
 }
 
@@ -97,7 +97,6 @@ func (ws *Workspace) correctInto(theta tensor.Vec, train []data.Sample, alpha fl
 func (ws *Workspace) AdaptInto(theta tensor.Vec, adaptSet []data.Sample, alpha float64, steps int, phi tensor.Vec) {
 	phi.CopyFrom(theta)
 	for s := 0; s < steps; s++ {
-		nn.GradInto(ws.m, ws.nws, phi, adaptSet, ws.gInner)
-		phi.Axpy(-alpha, ws.gInner)
+		nn.GradStepInto(ws.m, ws.nws, phi, adaptSet, alpha, ws.gInner, phi)
 	}
 }

@@ -53,6 +53,17 @@ type HVPIntoer interface {
 	HVPInto(ws Workspace, params tensor.Vec, batch []data.Sample, v, out tensor.Vec)
 }
 
+// GradStepIntoer is implemented by models whose gradient-descent step
+// out = params − lr·∇L(params, batch) runs as one fused kernel: the gradient
+// lives in workspace scratch and the regularizer plus the step collapse into
+// a single pass over the parameter vector, instead of the three sweeps
+// (gradient write, parameter copy, axpy) of the unfused sequence.
+type GradStepIntoer interface {
+	// GradStepInto computes out = params − lr·∇L(params, batch). out may
+	// alias params (in-place step); it must not alias workspace memory.
+	GradStepInto(ws Workspace, params tensor.Vec, batch []data.Sample, lr float64, out tensor.Vec)
+}
+
 // InputGradIntoer is implemented by models that can compute the per-sample
 // input gradient into a caller-provided buffer.
 type InputGradIntoer interface {
@@ -95,6 +106,21 @@ func HVPInto(m Model, ws Workspace, params tensor.Vec, batch []data.Sample, v, o
 		return
 	}
 	FiniteDiffHVPInto(m, ws, params, batch, v, out)
+}
+
+// GradStepInto computes out = params − lr·∇L(params, batch), using the
+// model's fused kernel when it implements GradStepIntoer. grad is fallback
+// scratch (length NumParams) used only by models without the fused kernel;
+// out may alias params but must alias neither grad nor workspace memory.
+// Both paths produce bit-identical results: the fused kernels reproduce the
+// unfused per-element arithmetic exactly.
+func GradStepInto(m Model, ws Workspace, params tensor.Vec, batch []data.Sample, lr float64, grad, out tensor.Vec) {
+	if g, ok := m.(GradStepIntoer); ok {
+		g.GradStepInto(ws, params, batch, lr, out)
+		return
+	}
+	GradInto(m, ws, params, batch, grad)
+	params.AxpyInto(-lr, grad, out)
 }
 
 // LossWither is implemented by models that can evaluate the batch loss

@@ -41,6 +41,7 @@ var (
 	_ InputGradienter   = (*MLP)(nil)
 	_ WorkspaceProvider = (*MLP)(nil)
 	_ GradIntoer        = (*MLP)(nil)
+	_ GradStepIntoer    = (*MLP)(nil)
 	_ InputGradIntoer   = (*MLP)(nil)
 	_ LossWither        = (*MLP)(nil)
 )
@@ -196,12 +197,13 @@ type mlpWorkspace struct {
 	bwCap                int
 	delta                [][]tensor.Vec // [layers][bwCap]; delta[l][j] sized dims[l]
 	dzhat                [][]tensor.Vec // [hidden][bwCap], BN only
-	probs                tensor.Vec
-	sumDzhat, sumDzhatZc tensor.Vec // sized max hidden dim
+	probs                []tensor.Vec   // [bwCap][classes]; per-sample softmax grads
+	sumDzhat, sumDzhatZc tensor.Vec     // sized max hidden dim
 
 	// Rebindable parameter and gradient views, plus InputGrad scratch.
 	pv, gv mlpView
 	igrad  tensor.Vec // discarded parameter grads of InputGradInto
+	gstep  tensor.Vec // gradient accumulator of the fused GradStepInto
 	dx1    []tensor.Vec
 	frozen bnStats
 
@@ -223,7 +225,6 @@ func (m *MLP) NewWorkspace() Workspace {
 		istd:   make([]tensor.Vec, hidden),
 		delta:  make([][]tensor.Vec, m.layers()),
 		dzhat:  make([][]tensor.Vec, hidden),
-		probs:  tensor.NewVec(m.NumClasses()),
 		dx1:    make([]tensor.Vec, 1),
 	}
 	maxHidden := 0
@@ -296,6 +297,7 @@ func (ws *mlpWorkspace) ensureBackward(n int) {
 	for l := 0; l < m.layers(); l++ {
 		ws.delta[l] = allocVecs(n, m.dims[l])
 	}
+	ws.probs = allocVecs(n, m.NumClasses())
 	if m.batchNorm {
 		for l := 0; l < m.layers()-1; l++ {
 			ws.dzhat[l] = allocVecs(n, m.dims[l+1])
@@ -334,14 +336,13 @@ func (m *MLP) forward(ws *mlpWorkspace, v mlpView, batch []data.Sample, frozen *
 		c.inputs[0][j] = s.X
 	}
 
+	// Each linear layer is one blocked matrix-matrix product (MulVecBatch
+	// tiles the sample loop over the weight rows) with the bias add fused
+	// into the store; the activations that follow are fused into a single
+	// sweep that writes ReLU straight into the next layer's input buffer
+	// (buffers are reused, so zeros must be written explicitly).
 	for l := 0; l < hidden; l++ {
-		dim := m.dims[l+1]
-		for j := range batch {
-			z := c.z[l][j]
-			v.w[l].MulVec(c.inputs[l][j], z)
-			z.AddInPlace(v.b[l])
-		}
-		act := c.z[l]
+		v.w[l].MulVecBatch(c.inputs[l], v.b[l], c.z[l])
 		if m.batchNorm {
 			if frozen != nil {
 				c.mean[l], c.istd[l] = frozen.mean[l], frozen.istd[l]
@@ -349,35 +350,40 @@ func (m *MLP) forward(ws *mlpWorkspace, v mlpView, batch []data.Sample, frozen *
 				c.mean[l], c.istd[l] = ws.mean[l], ws.istd[l]
 				batchStatsInto(c.z[l], c.mean[l], c.istd[l])
 			}
+			// Fused normalize → affine → ReLU: one pass per sample writes
+			// zhat, preAct, and the next layer's input.
+			dim := m.dims[l+1]
+			mean, istd, gamma, beta := c.mean[l], c.istd[l], v.gamma[l], v.beta[l]
 			for j := range batch {
-				zh, pa := c.zhat[l][j], c.preAct[l][j]
+				zj, zh, pa, h := c.z[l][j], c.zhat[l][j], c.preAct[l][j], c.inputs[l+1][j]
 				for f := 0; f < dim; f++ {
-					zh[f] = (c.z[l][j][f] - c.mean[l][f]) * c.istd[l][f]
-					pa[f] = v.gamma[l][f]*zh[f] + v.beta[l][f]
+					zhf := (zj[f] - mean[f]) * istd[f]
+					zh[f] = zhf
+					paf := gamma[f]*zhf + beta[f]
+					pa[f] = paf
+					if paf > 0 {
+						h[f] = paf
+					} else {
+						h[f] = 0
+					}
 				}
 			}
-			act = c.preAct[l]
-		}
-		// ReLU into the next layer's inputs (buffers are reused, so zeros
-		// must be written explicitly).
-		for j := range batch {
-			h := c.inputs[l+1][j]
-			for f, a := range act[j] {
-				if a > 0 {
-					h[f] = a
-				} else {
-					h[f] = 0
+		} else {
+			for j := range batch {
+				h := c.inputs[l+1][j]
+				for f, a := range c.z[l][j] {
+					if a > 0 {
+						h[f] = a
+					} else {
+						h[f] = 0
+					}
 				}
 			}
 		}
 	}
 
 	last := m.layers() - 1
-	for j := range batch {
-		logit := c.logits[j]
-		v.w[last].MulVec(c.inputs[last][j], logit)
-		logit.AddInPlace(v.b[last])
-	}
+	v.w[last].MulVecBatch(c.inputs[last], v.b[last], c.logits)
 	return c
 }
 
@@ -387,8 +393,13 @@ type bnStats struct {
 }
 
 // batchStatsInto computes the per-feature mean and inverse standard
-// deviation of zs into the caller's buffers.
+// deviation of zs into the caller's buffers. An empty batch has no defined
+// statistics; it fails fast here rather than letting NaN mean/istd flow
+// silently into the parameters.
 func batchStatsInto(zs []tensor.Vec, mean, istd tensor.Vec) {
+	if len(zs) == 0 {
+		panic("nn: batchStatsInto on empty batch — batch-normalization statistics are undefined")
+	}
 	n := float64(len(zs))
 	mean.Zero()
 	for _, z := range zs {
@@ -462,6 +473,40 @@ func (m *MLP) GradInto(wsAny Workspace, params tensor.Vec, batch []data.Sample, 
 	}
 }
 
+// GradStepInto implements GradStepIntoer: out = params − lr·∇L(params, batch)
+// as one fused kernel. The gradient accumulates into workspace scratch, and
+// the L2 term plus the descent step collapse into a single final pass over
+// the parameter vector — element for element the same arithmetic as GradInto
+// followed by the axpy step, so results are bit-identical. out may alias
+// params (in-place step); it must not alias workspace memory.
+func (m *MLP) GradStepInto(wsAny Workspace, params tensor.Vec, batch []data.Sample, lr float64, out tensor.Vec) {
+	ws := m.workspace(wsAny)
+	if len(out) != m.numParams {
+		panic(fmt.Sprintf("nn: MLP step buffer has %d entries, want %d", len(out), m.numParams))
+	}
+	if ws.gstep == nil {
+		ws.gstep = tensor.NewVec(m.numParams)
+	}
+	g := ws.gstep
+	g.Zero()
+	if len(batch) > 0 {
+		m.viewInto(&ws.pv, params)
+		m.viewInto(&ws.gv, g)
+		c := m.forward(ws, ws.pv, batch, nil)
+		m.backward(ws, ws.pv, ws.gv, c, batch, nil)
+	}
+	if m.l2 != 0 {
+		// out = params − lr·(g + l2·params): the L2 axpy of GradInto and the
+		// step fused into one sweep, with identical per-element rounding.
+		l2 := m.l2
+		for i := range out {
+			out[i] = params[i] - lr*(g[i]+l2*params[i])
+		}
+		return
+	}
+	params.AxpyInto(-lr, g, out)
+}
+
 // backward accumulates parameter gradients into gv. If dx is non-nil it
 // also stores the loss gradient with respect to each input sample into
 // dx[j] (aliasing ws.delta[0] memory); in that mode BN statistics are
@@ -474,16 +519,24 @@ func (m *MLP) backward(ws *mlpWorkspace, v, gv mlpView, c *mlpCache, batch []dat
 	last := m.layers() - 1
 
 	// d holds ∂loss/∂(input of layer l+1) per sample, i.e. post-ReLU grads.
+	// The loss layer runs as three blocked passes — per-sample softmax
+	// gradients, then one batched outer-product accumulation and one batched
+	// transposed product — instead of interleaving tiny kernels per sample;
+	// the per-element accumulation order (ascending sample index) is the
+	// same, so the gradients are bit-identical.
 	d := ws.delta[last][:n]
-	probs := ws.probs
+	probs := ws.probs[:n]
 	for j, s := range batch {
-		tensor.Softmax(c.logits[j], probs)
-		probs[s.Y]--
-		probs.ScaleInPlace(invN)
-		gv.w[last].AddOuterInPlace(1, probs, c.inputs[last][j])
-		gv.b[last].AddInPlace(probs)
-		v.w[last].MulVecT(probs, d[j])
+		p := probs[j]
+		tensor.Softmax(c.logits[j], p)
+		p[s.Y]--
+		p.ScaleInPlace(invN)
 	}
+	gv.w[last].AddOuterBatch(1, probs, c.inputs[last])
+	for j := 0; j < n; j++ {
+		gv.b[last].AddInPlace(probs[j])
+	}
+	v.w[last].MulVecTBatch(probs, d)
 
 	for l := hidden - 1; l >= 0; l-- {
 		dim := m.dims[l+1]
@@ -527,11 +580,11 @@ func (m *MLP) backward(ws *mlpWorkspace, v, gv mlpView, c *mlpCache, batch []dat
 		}
 
 		prev := ws.delta[l][:n]
+		gv.w[l].AddOuterBatch(1, dz, c.inputs[l])
 		for j := 0; j < n; j++ {
-			gv.w[l].AddOuterInPlace(1, dz[j], c.inputs[l][j])
 			gv.b[l].AddInPlace(dz[j])
-			v.w[l].MulVecT(dz[j], prev[j])
 		}
+		v.w[l].MulVecTBatch(dz, prev)
 		d = prev
 	}
 

@@ -34,6 +34,7 @@ var (
 	_ InputGradienter   = (*SoftmaxRegression)(nil)
 	_ WorkspaceProvider = (*SoftmaxRegression)(nil)
 	_ GradIntoer        = (*SoftmaxRegression)(nil)
+	_ GradStepIntoer    = (*SoftmaxRegression)(nil)
 	_ HVPIntoer         = (*SoftmaxRegression)(nil)
 	_ InputGradIntoer   = (*SoftmaxRegression)(nil)
 	_ LossWither        = (*SoftmaxRegression)(nil)
@@ -45,6 +46,7 @@ var (
 type softmaxWorkspace struct {
 	classes, in int
 	p, u, a     tensor.Vec // probability / direction / curvature scratch
+	gstep       tensor.Vec // gradient accumulator of the fused GradStepInto
 	w, gw, vw   tensor.Mat // views rebound onto params / out / v per call
 	fdBufs
 }
@@ -103,6 +105,20 @@ func (m *SoftmaxRegression) GradInto(ws Workspace, params tensor.Vec, batch []da
 	if m.L2 != 0 {
 		out.Axpy(m.L2, params)
 	}
+}
+
+// GradStepInto implements GradStepIntoer: out = params − lr·∇L(params, batch)
+// with the gradient held in workspace scratch and the step applied as one
+// fused pass, replacing the caller's copy-then-axpy pair. out may alias
+// params; it must not alias workspace memory. Bit-identical to GradInto
+// followed by the axpy step.
+func (m *SoftmaxRegression) GradStepInto(ws Workspace, params tensor.Vec, batch []data.Sample, lr float64, out tensor.Vec) {
+	s := m.workspace(ws)
+	if len(s.gstep) != m.NumParams() {
+		s.gstep = tensor.NewVec(m.NumParams())
+	}
+	m.GradInto(s, params, batch, s.gstep)
+	params.AxpyInto(-lr, s.gstep, out)
 }
 
 // HVPInto implements HVPIntoer: the analytic Hessian-vector product written

@@ -45,6 +45,45 @@ func TestForEachCoversEveryIndexOnce(t *testing.T) {
 	}
 }
 
+func TestChunkSize(t *testing.T) {
+	cases := []struct{ n, w, want int }{
+		{n: 1, w: 1, want: 1},
+		{n: 7, w: 1, want: 1},   // small n: singles
+		{n: 16, w: 1, want: 2},  // 16/(8·1)
+		{n: 64, w: 1, want: 8},  // 64/(8·1)
+		{n: 57, w: 8, want: 1},  // 57/(8·8) rounds to 0 → singles fallback
+		{n: 128, w: 8, want: 2}, // 128/(8·8)
+		{n: 1000, w: 8, want: 15},
+	}
+	for _, c := range cases {
+		if got := chunkSize(c.n, c.w); got != c.want {
+			t.Errorf("chunkSize(n=%d, w=%d) = %d, want %d", c.n, c.w, got, c.want)
+		}
+	}
+}
+
+// The batched-range scheduler must still cover every index exactly once for
+// shapes where chunks exceed 1 and where n is not a multiple of chunk·w —
+// the final claims straddle n and must be clipped, not dropped or repeated.
+func TestForEachCoversEveryIndexOnceChunked(t *testing.T) {
+	cases := []struct{ n, workers int }{
+		{n: 1000, workers: 8}, // chunk 15; last claim clips at 1000
+		{n: 1000, workers: 2}, // chunk 62
+		{n: 129, workers: 4},  // chunk 4, remainder 1
+		{n: 17, workers: 16},  // chunk 1: singles fallback under contention
+		{n: 3, workers: 8},    // more workers than work
+	}
+	for _, tc := range cases {
+		hits := make([]atomic.Int64, tc.n)
+		ForEach(tc.workers, tc.n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("n=%d workers=%d: index %d executed %d times", tc.n, tc.workers, i, c)
+			}
+		}
+	}
+}
+
 func TestForEachZeroAndNegativeN(t *testing.T) {
 	ran := false
 	ForEach(4, 0, func(int) { ran = true })

@@ -136,8 +136,7 @@ func Train(m nn.Model, fed *data.Federation, theta0 tensor.Vec, cfg Config) (*Re
 			phi := adapted[i]
 			phi.CopyFrom(theta)
 			for s := 0; s < cfg.InnerSteps; s++ {
-				nn.GradInto(m, sc.ws, phi, fed.Sources[i].Train, sc.g)
-				phi.Axpy(-cfg.InnerLR, sc.g)
+				nn.GradStepInto(m, sc.ws, phi, fed.Sources[i].Train, cfg.InnerLR, sc.g, phi)
 			}
 			if !phi.IsFinite() {
 				return fmt.Errorf("reptile: node %d diverged in round %d", i, round)

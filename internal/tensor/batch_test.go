@@ -1,0 +1,253 @@
+package tensor
+
+import "testing"
+
+// lcgFill fills v deterministically, planting an exact zero every fifth
+// entry so the zero-coefficient skip paths of the batched kernels are
+// exercised alongside the dense fast paths.
+func lcgFill(v Vec, seed *uint64) {
+	for i := range v {
+		*seed = *seed*6364136223846793005 + 1442695040888963407
+		if i%5 == 4 {
+			v[i] = 0
+			continue
+		}
+		v[i] = float64(int64(*seed>>33))/float64(1<<30) - 1
+	}
+}
+
+func lcgMat(rows, cols int, seed *uint64) *Mat {
+	m := NewMat(rows, cols)
+	lcgFill(m.Data, seed)
+	return m
+}
+
+func lcgVecs(n, dim int, seed *uint64) []Vec {
+	vs := make([]Vec, n)
+	for i := range vs {
+		vs[i] = NewVec(dim)
+		lcgFill(vs[i], seed)
+	}
+	return vs
+}
+
+// The batched kernels must be bit-identical to their per-sample loops — the
+// par determinism contract extends to tiling. Batch sizes 1..9 cover the
+// singles fallback (n < tile), full tiles (4, 8) and odd remainders.
+func TestMulVecBatchMatchesPerSample(t *testing.T) {
+	seed := uint64(1)
+	m := lcgMat(6, 7, &seed)
+	bias := NewVec(6)
+	lcgFill(bias, &seed)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9} {
+		xs := lcgVecs(n, 7, &seed)
+		outs := lcgVecs(n, 6, &seed) // pre-filled garbage: kernel must overwrite
+		m.MulVecBatch(xs, bias, outs)
+		ref := NewVec(6)
+		for j := range xs {
+			m.MulVec(xs[j], ref)
+			ref.AddInPlace(bias)
+			for i := range ref {
+				if outs[j][i] != ref[i] {
+					t.Fatalf("n=%d sample %d out[%d] = %v, want %v (bit-exact)", n, j, i, outs[j][i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulVecBatchNilBias(t *testing.T) {
+	seed := uint64(2)
+	m := lcgMat(4, 5, &seed)
+	xs := lcgVecs(5, 5, &seed)
+	outs := lcgVecs(5, 4, &seed)
+	m.MulVecBatch(xs, nil, outs)
+	ref := NewVec(4)
+	for j := range xs {
+		m.MulVec(xs[j], ref)
+		for i := range ref {
+			if outs[j][i] != ref[i] {
+				t.Fatalf("sample %d out[%d] = %v, want %v", j, i, outs[j][i], ref[i])
+			}
+		}
+	}
+}
+
+func TestMulVecTBatchMatchesPerSample(t *testing.T) {
+	seed := uint64(3)
+	m := lcgMat(6, 7, &seed)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9} {
+		xs := lcgVecs(n, 6, &seed) // every fifth entry zero: exercises skip paths
+		outs := lcgVecs(n, 7, &seed)
+		m.MulVecTBatch(xs, outs)
+		ref := NewVec(7)
+		for j := range xs {
+			m.MulVecT(xs[j], ref)
+			for k := range ref {
+				if outs[j][k] != ref[k] {
+					t.Fatalf("n=%d sample %d out[%d] = %v, want %v (bit-exact)", n, j, k, outs[j][k], ref[k])
+				}
+			}
+		}
+	}
+}
+
+// A tile whose four coefficients are all zero at some row must still match
+// the per-sample skip exactly (and not touch the outputs for that row).
+func TestMulVecTBatchAllZeroRow(t *testing.T) {
+	seed := uint64(4)
+	m := lcgMat(3, 4, &seed)
+	xs := make([]Vec, 4)
+	for j := range xs {
+		xs[j] = Vec{0, 0, 0} // row coefficients all zero
+		xs[j][j%3] = float64(j + 1)
+	}
+	xs[2][2] = 0 // sample 2 is entirely zero
+	outs := lcgVecs(4, 4, &seed)
+	m.MulVecTBatch(xs, outs)
+	ref := NewVec(4)
+	for j := range xs {
+		m.MulVecT(xs[j], ref)
+		for k := range ref {
+			if outs[j][k] != ref[k] {
+				t.Fatalf("sample %d out[%d] = %v, want %v", j, k, outs[j][k], ref[k])
+			}
+		}
+	}
+}
+
+func TestAddOuterBatchMatchesPerSample(t *testing.T) {
+	for _, n := range []int{1, 3, 7, 8, 9, 17} { // below, at, and past the 8-sample block
+		seed := uint64(5)
+		xs := lcgVecs(n, 4, &seed) // zeros exercise the cxi == 0 skip
+		ys := lcgVecs(n, 5, &seed)
+		got := lcgMat(4, 5, &seed)
+		want := got.Clone()
+		got.AddOuterBatch(-0.75, xs, ys)
+		for j := range xs {
+			want.AddOuterInPlace(-0.75, xs[j], ys[j])
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("n=%d element %d = %v, want %v (bit-exact)", n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestBatchKernelShapePanics(t *testing.T) {
+	m := NewMat(2, 3)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"MulVecBatchLenMismatch", func() { m.MulVecBatch(make([]Vec, 2), nil, make([]Vec, 3)) }},
+		{"MulVecBatchBadBias", func() { m.MulVecBatch([]Vec{NewVec(3)}, NewVec(3), []Vec{NewVec(2)}) }},
+		{"MulVecBatchBadSample", func() { m.MulVecBatch([]Vec{NewVec(2)}, nil, []Vec{NewVec(2)}) }},
+		{"MulVecTBatchLenMismatch", func() { m.MulVecTBatch(make([]Vec, 1), make([]Vec, 2)) }},
+		{"MulVecTBatchBadSample", func() { m.MulVecTBatch([]Vec{NewVec(3)}, []Vec{NewVec(3)}) }},
+		{"AddOuterBatchLenMismatch", func() { m.AddOuterBatch(1, make([]Vec, 2), make([]Vec, 1)) }},
+		{"AddOuterBatchBadSample", func() { m.AddOuterBatch(1, []Vec{NewVec(3)}, []Vec{NewVec(3)}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestAxpyInto(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	out := NewVec(3)
+	v.AxpyInto(-2, w, out)
+	// Bit-exact contract: identical to CopyFrom + Axpy.
+	want := NewVec(3)
+	want.CopyFrom(v)
+	want.Axpy(-2, w)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("AxpyInto[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	// out may alias v (the in-place step case).
+	v.AxpyInto(-2, w, v)
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("aliased AxpyInto[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+}
+
+// Benchmarks comparing the tiled batch kernels against per-sample loops on
+// a Sent140-shaped layer (64 features, 16 hidden, 32-sample batch).
+func benchBatchSetup(b *testing.B, rows, cols, n int) (*Mat, []Vec, []Vec) {
+	b.Helper()
+	seed := uint64(1)
+	m := lcgMat(rows, cols, &seed)
+	xs := lcgVecs(n, cols, &seed)
+	outs := lcgVecs(n, rows, &seed)
+	return m, xs, outs
+}
+
+func BenchmarkMulVecBatch(b *testing.B) {
+	m, xs, outs := benchBatchSetup(b, 16, 64, 32)
+	bias := NewVec(16)
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.MulVecBatch(xs, bias, outs)
+		}
+	})
+	b.Run("per-sample", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range xs {
+				m.MulVec(xs[j], outs[j])
+				outs[j].AddInPlace(bias)
+			}
+		}
+	})
+}
+
+func BenchmarkAddOuterBatch(b *testing.B) {
+	seed := uint64(2)
+	m := lcgMat(16, 64, &seed)
+	xs := lcgVecs(32, 16, &seed)
+	ys := lcgVecs(32, 64, &seed)
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.AddOuterBatch(0.5, xs, ys)
+		}
+	})
+	b.Run("per-sample", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range xs {
+				m.AddOuterInPlace(0.5, xs[j], ys[j])
+			}
+		}
+	})
+}
+
+func TestAxpyIntoShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"ShortW":   func() { Vec{1, 2}.AxpyInto(1, Vec{1}, NewVec(2)) },
+		"ShortOut": func() { Vec{1, 2}.AxpyInto(1, Vec{1, 2}, NewVec(1)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}

@@ -90,3 +90,173 @@ func (m *Mat) AddOuterInPlace(c float64, x, y Vec) {
 		}
 	}
 }
+
+// Batched kernels. The per-sample kernels above stream the whole weight
+// matrix through the cache once per sample; the batch variants tile the
+// sample loop so each matrix row is loaded once per tile and reused across
+// the tile's samples. Every kernel keeps the per-output-element accumulation
+// order of its per-sample counterpart (ascending k for dot products,
+// ascending row index for transposed products, ascending sample index for
+// outer-product accumulation), so results are bit-identical to calling the
+// per-sample kernel in a loop — the determinism contract the golden
+// workers=1-vs-8 tests enforce extends to tiling.
+
+// mulVecTile is the register-blocking width of MulVecBatch and
+// MulVecTBatch: four samples share one streamed weight row, using four
+// scalar accumulators that comfortably fit the amd64/arm64 register file.
+const mulVecTile = 4
+
+// addOuterTile is the sample-blocking depth of AddOuterBatch: the gradient
+// matrix is streamed once per block of eight samples instead of once per
+// sample, while the block's input rows stay cache-resident.
+const addOuterTile = 8
+
+// MulVecBatch computes outs[j] = m*xs[j] + bias for every j (a nil bias adds
+// nothing). Each xs[j] must have length m.Cols and each outs[j] length
+// m.Rows; outs[j] may not alias xs[k]. Results are bit-identical to per-
+// sample MulVec followed by AddInPlace(bias).
+func (m *Mat) MulVecBatch(xs []Vec, bias Vec, outs []Vec) {
+	if len(xs) != len(outs) {
+		panic(fmt.Sprintf("tensor: MulVecBatch got %d inputs for %d outputs", len(xs), len(outs)))
+	}
+	if bias != nil && len(bias) != m.Rows {
+		panic(fmt.Sprintf("tensor: MulVecBatch bias has %d entries, want %d", len(bias), m.Rows))
+	}
+	for j := range xs {
+		if len(xs[j]) != m.Cols || len(outs[j]) != m.Rows {
+			panic(fmt.Sprintf("tensor: MulVecBatch shape mismatch at sample %d: %dx%d by %d into %d", j, m.Rows, m.Cols, len(xs[j]), len(outs[j])))
+		}
+	}
+	n := len(xs)
+	j := 0
+	for ; j+mulVecTile <= n; j += mulVecTile {
+		x0, x1, x2, x3 := xs[j], xs[j+1], xs[j+2], xs[j+3]
+		o0, o1, o2, o3 := outs[j], outs[j+1], outs[j+2], outs[j+3]
+		for i := 0; i < m.Rows; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			var s0, s1, s2, s3 float64
+			for k, r := range row {
+				s0 += r * x0[k]
+				s1 += r * x1[k]
+				s2 += r * x2[k]
+				s3 += r * x3[k]
+			}
+			if bias != nil {
+				b := bias[i]
+				s0 += b
+				s1 += b
+				s2 += b
+				s3 += b
+			}
+			o0[i], o1[i], o2[i], o3[i] = s0, s1, s2, s3
+		}
+	}
+	for ; j < n; j++ { // remainder: singles, same arithmetic
+		m.MulVec(xs[j], outs[j])
+		if bias != nil {
+			outs[j].AddInPlace(bias)
+		}
+	}
+}
+
+// MulVecTBatch overwrites outs[j] = mᵀ*xs[j] for every j. Each xs[j] must
+// have length m.Rows and each outs[j] length m.Cols; outs[j] may not alias
+// xs[k]. It preserves per-sample MulVecT's skip of zero coefficients (common
+// for post-ReLU gradients), so results are bit-identical to the per-sample
+// loop.
+func (m *Mat) MulVecTBatch(xs, outs []Vec) {
+	if len(xs) != len(outs) {
+		panic(fmt.Sprintf("tensor: MulVecTBatch got %d inputs for %d outputs", len(xs), len(outs)))
+	}
+	for j := range xs {
+		if len(xs[j]) != m.Rows || len(outs[j]) != m.Cols {
+			panic(fmt.Sprintf("tensor: MulVecTBatch shape mismatch at sample %d: %dx%d ᵀ by %d into %d", j, m.Rows, m.Cols, len(xs[j]), len(outs[j])))
+		}
+	}
+	n := len(xs)
+	j := 0
+	for ; j+mulVecTile <= n; j += mulVecTile {
+		x0, x1, x2, x3 := xs[j], xs[j+1], xs[j+2], xs[j+3]
+		o0, o1, o2, o3 := outs[j], outs[j+1], outs[j+2], outs[j+3]
+		o0.Zero()
+		o1.Zero()
+		o2.Zero()
+		o3.Zero()
+		for i := 0; i < m.Rows; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			c0, c1, c2, c3 := x0[i], x1[i], x2[i], x3[i]
+			if c0 != 0 && c1 != 0 && c2 != 0 && c3 != 0 {
+				for k, r := range row {
+					o0[k] += r * c0
+					o1[k] += r * c1
+					o2[k] += r * c2
+					o3[k] += r * c3
+				}
+				continue
+			}
+			// At least one zero coefficient: per-sample passes keep the
+			// skip semantics (and the arithmetic) of MulVecT exactly.
+			if c0 != 0 {
+				for k, r := range row {
+					o0[k] += r * c0
+				}
+			}
+			if c1 != 0 {
+				for k, r := range row {
+					o1[k] += r * c1
+				}
+			}
+			if c2 != 0 {
+				for k, r := range row {
+					o2[k] += r * c2
+				}
+			}
+			if c3 != 0 {
+				for k, r := range row {
+					o3[k] += r * c3
+				}
+			}
+		}
+	}
+	for ; j < n; j++ { // remainder: singles
+		m.MulVecT(xs[j], outs[j])
+	}
+}
+
+// AddOuterBatch adds c * Σ_j xs[j] ys[j]ᵀ to m — the batched form of the
+// rank-1 gradient accumulation. Each xs[j] must have length m.Rows and each
+// ys[j] length m.Cols. Samples are processed in blocks of addOuterTile with
+// the row loop outside the block's sample loop, so each gradient row is
+// loaded once per block; per matrix element the sample order stays ascending
+// and zero coefficients are skipped, making the result bit-identical to
+// calling AddOuterInPlace(c, xs[j], ys[j]) for j = 0..n-1.
+func (m *Mat) AddOuterBatch(c float64, xs, ys []Vec) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("tensor: AddOuterBatch got %d left vectors for %d right vectors", len(xs), len(ys)))
+	}
+	for j := range xs {
+		if len(xs[j]) != m.Rows || len(ys[j]) != m.Cols {
+			panic(fmt.Sprintf("tensor: AddOuterBatch shape mismatch at sample %d: %dx%d with %d,%d", j, m.Rows, m.Cols, len(xs[j]), len(ys[j])))
+		}
+	}
+	n := len(xs)
+	for j0 := 0; j0 < n; j0 += addOuterTile {
+		j1 := j0 + addOuterTile
+		if j1 > n {
+			j1 = n
+		}
+		for i := 0; i < m.Rows; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j := j0; j < j1; j++ {
+				cxi := c * xs[j][i]
+				if cxi == 0 {
+					continue
+				}
+				y := ys[j]
+				for k := range row {
+					row[k] += cxi * y[k]
+				}
+			}
+		}
+	}
+}

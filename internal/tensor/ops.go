@@ -1,6 +1,9 @@
 package tensor
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Softmax writes the softmax of logits into out (which may alias logits).
 // The computation is shifted by the max logit for numerical stability.
@@ -49,8 +52,13 @@ func LogSumExp(v Vec) float64 {
 }
 
 // CrossEntropyFromLogits returns -log softmax(logits)[label], computed
-// stably without materializing the softmax.
+// stably without materializing the softmax. A label outside [0, len(logits))
+// — a corrupt or mis-encoded dataset — panics with the op name, the label,
+// and the class count rather than a bare index error deep in the hot path.
 func CrossEntropyFromLogits(logits Vec, label int) float64 {
+	if label < 0 || label >= len(logits) {
+		panic(fmt.Sprintf("tensor: CrossEntropyFromLogits label %d out of range for %d classes", label, len(logits)))
+	}
 	return LogSumExp(logits) - logits[label]
 }
 

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -103,6 +104,28 @@ func TestCrossEntropyFromLogits(t *testing.T) {
 	// Confident wrong prediction => large loss.
 	if got := CrossEntropyFromLogits(Vec{100, 0}, 1); got < 50 {
 		t.Errorf("CE wrong = %v, want large", got)
+	}
+}
+
+// An out-of-range label used to read (or write nothing and return garbage
+// via) logits[label] with only the runtime's bare index panic; the kernel
+// now fails with a message naming the op, the label and the class count.
+func TestCrossEntropyFromLogitsLabelOutOfRange(t *testing.T) {
+	for _, label := range []int{-1, 3, 100} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("label %d: no panic", label)
+					return
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "CrossEntropyFromLogits") || !strings.Contains(msg, "3 classes") {
+					t.Errorf("label %d: panic %v does not name op and class count", label, r)
+				}
+			}()
+			CrossEntropyFromLogits(Vec{1, 2, 3}, label)
+		}()
 	}
 }
 

@@ -135,6 +135,17 @@ func (v Vec) Axpy(c float64, w Vec) {
 	}
 }
 
+// AxpyInto sets out = v + c*w in a single pass. out may alias v (the
+// gradient-descent step out = θ − α·g fuses the copy and the axpy this way);
+// it must not alias w. Bit-identical to CopyFrom(v) followed by Axpy(c, w).
+func (v Vec) AxpyInto(c float64, w, out Vec) {
+	checkLen("AxpyInto", v, w)
+	checkLen("AxpyInto", v, out)
+	for i := range v {
+		out[i] = v[i] + c*w[i]
+	}
+}
+
 // Dot returns the inner product <v, w>.
 func (v Vec) Dot(w Vec) float64 {
 	checkLen("Dot", v, w)
