@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short check chaos-smoke obs-smoke codec-smoke shard-smoke async-smoke profile bench bench-json bench-check bench-paper bench-par bench-scale bench-async fuzz fuzz-smoke examples clean
+.PHONY: all build vet test test-race test-short check chaos-smoke obs-smoke codec-smoke shard-smoke async-smoke energy-smoke profile bench bench-json bench-check bench-paper bench-par bench-scale bench-async bench-energy fuzz fuzz-smoke examples clean
 
 # Scratch directory for generated artifacts (metrics sinks, bench output,
 # profiles); removed by `make clean`, never committed.
@@ -94,6 +94,25 @@ async-smoke:
 		-metrics-out $(BUILD_DIR)/async_smoke.jsonl
 	$(GO) run ./cmd/obscheck $(BUILD_DIR)/async_smoke.jsonl
 
+# Partial-sync + budget smoke, in two legs. Leg 1: head-only sync after two
+# warmup rounds through the usual kill/revive + corrupt chaos — the masked
+# resync of a rejoining node and the corrupted-payload handling run under the
+# mask. Leg 2: a 1 J lora-like budget no node can afford — every round falls
+# back to the best-progress-per-joule backfill and the new budget_filtered
+# counter fills. obscheck proves both metrics streams (schema 3) reconstruct
+# the final totals exactly.
+energy-smoke:
+	@mkdir -p $(BUILD_DIR)
+	$(GO) run ./cmd/fedml train -dataset synthetic -nodes 6 -k 3 -t 30 -t0 5 \
+		-seed 7 -sync-mask head:2 -round-timeout 500ms -guard 25 \
+		-chaos "1:kill@2,1:revive@4,2:corrupt@3" -chaos-seed 11 \
+		-metrics-out $(BUILD_DIR)/mask_smoke.jsonl
+	$(GO) run ./cmd/obscheck $(BUILD_DIR)/mask_smoke.jsonl
+	$(GO) run ./cmd/fedml train -dataset synthetic -nodes 6 -k 3 -t 30 -t0 5 \
+		-seed 7 -sync-mask head:2 -energy-profile lora-like -energy-budget 1 \
+		-metrics-out $(BUILD_DIR)/energy_smoke.jsonl
+	$(GO) run ./cmd/obscheck $(BUILD_DIR)/energy_smoke.jsonl
+
 # CPU + heap profiles of the hot end-to-end benchmark (fig2a). Inspect with
 # `go tool pprof cpu.pprof`; live runs expose the same data via -pprof.
 profile:
@@ -145,6 +164,13 @@ bench-scale:
 # exceeds 5%.
 bench-async:
 	$(GO) run ./cmd/fedml-bench -async-bench -out BENCH_experiments.json
+
+# Energy snapshot: run ext-energy (full vs head-only sync priced in joules on
+# the lora-like radio) and merge the per-arm bills into BENCH_experiments.json
+# under "ext_energy". Fails if head-only sync lands more than 2 accuracy
+# points below full sync or saves less than 3× the joules.
+bench-energy:
+	$(GO) run ./cmd/fedml-bench -energy-bench -out BENCH_experiments.json
 
 # Short fuzzing pass over the parsers and the update codecs.
 fuzz:

@@ -8,6 +8,7 @@
 //	fedml-bench -par-bench -workers 4 # measure parallel speedup on fig2a
 //	fedml-bench -scale-bench -paper   # measure fleet-scale sharded throughput
 //	fedml-bench -async-bench          # measure async vs sync rounds/sec under latency skew
+//	fedml-bench -energy-bench         # measure accuracy-per-joule of partial vs full sync
 //
 // Each experiment prints the same rows/series the paper reports; the
 // per-experiment index lives in DESIGN.md §4.
@@ -35,15 +36,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedml-bench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment id (see -list) or \"all\"")
-		paper      = fs.Bool("paper", false, "run at the paper's scale instead of the fast CI scale")
-		list       = fs.Bool("list", false, "list available experiments and exit")
-		workers    = fs.Int("workers", 0, "worker count for parallel sections (0 = all cores, 1 = serial)")
-		parBench   = fs.Bool("par-bench", false, "benchmark the fig2a grid at workers=1 vs -workers, verify identical output, and report the speedup")
-		scaleBench = fs.Bool("scale-bench", false, "benchmark fleet-scale two-tier aggregation (ext-scale) and report rounds/sec")
-		asyncBench = fs.Bool("async-bench", false, "benchmark buffered-async vs sync round throughput under latency skew (ext-async)")
-		out        = fs.String("out", "", "with -par-bench, -scale-bench, or -async-bench: merge the measurement into this keyed JSON file")
-		codecs     = fs.String("codec", "", "with -exp ext-codec: comma-separated update codecs to compare, first is the baseline (default raw,f16,q8,topk)")
+		exp         = fs.String("exp", "all", "experiment id (see -list) or \"all\"")
+		paper       = fs.Bool("paper", false, "run at the paper's scale instead of the fast CI scale")
+		list        = fs.Bool("list", false, "list available experiments and exit")
+		workers     = fs.Int("workers", 0, "worker count for parallel sections (0 = all cores, 1 = serial)")
+		parBench    = fs.Bool("par-bench", false, "benchmark the fig2a grid at workers=1 vs -workers, verify identical output, and report the speedup")
+		scaleBench  = fs.Bool("scale-bench", false, "benchmark fleet-scale two-tier aggregation (ext-scale) and report rounds/sec")
+		asyncBench  = fs.Bool("async-bench", false, "benchmark buffered-async vs sync round throughput under latency skew (ext-async)")
+		energyBench = fs.Bool("energy-bench", false, "measure accuracy-per-joule of head-only partial sync vs full sync (ext-energy) and check the savings floor")
+		out         = fs.String("out", "", "with -par-bench, -scale-bench, -async-bench, or -energy-bench: merge the measurement into this keyed JSON file")
+		codecs      = fs.String("codec", "", "with -exp ext-codec: comma-separated update codecs to compare, first is the baseline (default raw,f16,q8,topk)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +72,9 @@ func run(args []string) error {
 	}
 	if *asyncBench {
 		return runAsyncBench(scale, *out)
+	}
+	if *energyBench {
+		return runEnergyBench(scale, *workers, *out)
 	}
 
 	if *codecs != "" {
@@ -176,7 +181,7 @@ type scaleBenchReport struct {
 // benchKeys are the families BENCH_experiments.json may hold; anything else
 // found in the file (e.g. the legacy flat par-bench shape) is dropped on the
 // next write.
-var benchKeys = []string{"par_bench", "ext_scale", "async_skew"}
+var benchKeys = []string{"par_bench", "ext_scale", "async_skew", "ext_energy"}
 
 // mergeBenchEntry read-modify-writes one family entry into the keyed
 // measurement file, preserving the other families' entries.
@@ -311,6 +316,62 @@ func runAsyncBench(scale experiments.Scale, outPath string) error {
 			StaleDropped: res.StaleDropped,
 		}
 		if err := mergeBenchEntry(outPath, "async_skew", rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// energyBenchArm is one sync policy's bill in the "ext_energy" entry.
+type energyBenchArm struct {
+	Arm            string  `json:"arm"`
+	TotalJoules    float64 `json:"total_joules"`
+	TotalKiB       float64 `json:"total_kib"`
+	FinalAcc       float64 `json:"final_acc"`
+	JoulesRatio    float64 `json:"joules_ratio_vs_full"`
+	BudgetFiltered int     `json:"budget_filtered"`
+}
+
+// energyBenchReport is the JSON shape stored under "ext_energy".
+type energyBenchReport struct {
+	Scale   string           `json:"scale"`
+	Profile string           `json:"profile"`
+	Arms    []energyBenchArm `json:"arms"`
+}
+
+// runEnergyBench runs the ext-energy experiment and enforces its headline
+// claim as a gate: head-only sync within 2 accuracy points of full sync at
+// >= 3x fewer modeled joules on the lora-like profile.
+func runEnergyBench(scale experiments.Scale, workers int, outPath string) error {
+	cfg := experiments.DefaultExtEnergyConfig(scale)
+	cfg.Workers = workers
+	res, err := experiments.RunExtEnergy(cfg)
+	if err != nil {
+		return fmt.Errorf("energy-bench: %w", err)
+	}
+	fmt.Print(res.Render())
+	full, head := 0, 1
+	if gap := res.FinalAcc[full] - res.FinalAcc[head]; gap > 0.02 {
+		return fmt.Errorf("energy-bench: head-sync accuracy %.4f more than 2 points below full-sync %.4f",
+			res.FinalAcc[head], res.FinalAcc[full])
+	}
+	if res.TotalJoules[head] > res.TotalJoules[full]/3 {
+		return fmt.Errorf("energy-bench: head-sync spent %.0f J, above 1/3 of full-sync %.0f J",
+			res.TotalJoules[head], res.TotalJoules[full])
+	}
+	if outPath != "" {
+		rep := energyBenchReport{Scale: scale.String(), Profile: res.Profile}
+		for i, name := range res.Arms {
+			rep.Arms = append(rep.Arms, energyBenchArm{
+				Arm:            name,
+				TotalJoules:    res.TotalJoules[i],
+				TotalKiB:       res.TotalKiB[i],
+				FinalAcc:       res.FinalAcc[i],
+				JoulesRatio:    res.TotalJoules[full] / res.TotalJoules[i],
+				BudgetFiltered: res.BudgetFiltered[i],
+			})
+		}
+		if err := mergeBenchEntry(outPath, "ext_energy", rep); err != nil {
 			return err
 		}
 	}

@@ -87,6 +87,11 @@ type commonFlags struct {
 	csvDim  int
 	workers int
 	codec   string
+
+	syncMask      string
+	energyProfile string
+	energyJPerIt  float64
+	energyBudget  float64
 }
 
 func addCommonFlags(fs *flag.FlagSet) *commonFlags {
@@ -105,7 +110,36 @@ func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 	fs.IntVar(&c.csvDim, "csv-dim", 0, "with -dataset csv: number of feature columns")
 	fs.IntVar(&c.workers, "workers", 0, "worker count for evaluation fan-out (0 = all cores, 1 = serial); results are identical for every value")
 	fs.StringVar(&c.codec, "codec", "", "update compression codec: raw, f16, q8, or topk[:frac] (empty = raw; nodes mirror the platform's choice)")
+	fs.StringVar(&c.syncMask, "sync-mask", "", `partial-parameter sync policy: "head:<warmup>" freezes the feature layers after <warmup> full-sync rounds and syncs only the output head (nodes mirror the mask from the wire format)`)
+	fs.StringVar(&c.energyProfile, "energy-profile", "", "per-node energy pricing profile: lora-like, wifi, or datacenter (enables joule accounting)")
+	fs.Float64Var(&c.energyJPerIt, "energy-compute", 1e-4, "with -energy-profile: modeled compute joules per local iteration")
+	fs.Float64Var(&c.energyBudget, "energy-budget", 0, "per-node per-round energy budget in joules; nodes whose modeled round cost exceeds it sit the round out (requires -energy-profile; 0 = unlimited)")
 	return c
+}
+
+// applyPolicies resolves the model-dependent sync-mask and energy flags into
+// cfg. It runs on the aggregation side (train, platform): nodes mirror the
+// mask from the self-describing payloads and need no configuration.
+func (c *commonFlags) applyPolicies(cfg *core.Config, m nn.Model) error {
+	mask, err := core.ResolveSyncMask(c.syncMask, m)
+	if err != nil {
+		return err
+	}
+	cfg.SyncMask = mask
+	if c.energyProfile != "" {
+		em, ok := core.EnergyProfiles(c.energyJPerIt)[c.energyProfile]
+		if !ok {
+			return fmt.Errorf("unknown -energy-profile %q (want lora-like, wifi or datacenter)", c.energyProfile)
+		}
+		cfg.Energy = &em
+	}
+	if c.energyBudget > 0 {
+		if cfg.Energy == nil {
+			return fmt.Errorf("-energy-budget requires -energy-profile")
+		}
+		cfg.EnergyBudget = c.energyBudget
+	}
+	return nil
 }
 
 // buildWorkload constructs the federation and model for the CLI flags.
@@ -294,7 +328,7 @@ func (o *obsFlags) start() (obs.RoundObserver, func() error, error) {
 
 // printResilience summarizes the fault accounting of a finished run.
 func printResilience(stats core.CommStats) {
-	if stats.Dropped+stats.Rejoined+stats.Rejected+stats.SkippedRounds+stats.StaleApplied+stats.StaleDropped == 0 {
+	if stats.Dropped+stats.Rejoined+stats.Rejected+stats.SkippedRounds+stats.StaleApplied+stats.StaleDropped+stats.BudgetFiltered == 0 {
 		return
 	}
 	fmt.Printf("resilience: %d dropped, %d rejoined, %d updates rejected, %d rounds skipped\n",
@@ -302,6 +336,9 @@ func printResilience(stats core.CommStats) {
 	if stats.StaleApplied+stats.StaleDropped > 0 {
 		fmt.Printf("staleness: %d updates applied late (decayed), %d dropped past the bound\n",
 			stats.StaleApplied, stats.StaleDropped)
+	}
+	if stats.BudgetFiltered > 0 {
+		fmt.Printf("budget: %d node-rounds sat out over the energy/deadline budget\n", stats.BudgetFiltered)
 	}
 }
 
@@ -353,6 +390,9 @@ func runTrain(args []string) error {
 		}
 	})
 	cfg.Observer = ob
+	if err := c.applyPolicies(&cfg, m); err != nil {
+		return err
+	}
 	if err := ff.apply(&cfg); err != nil {
 		return err
 	}
@@ -573,6 +613,9 @@ func runPlatform(args []string) error {
 		obs.Emit(ob, obs.Event{Type: obs.TypeMetaLoss, Round: round, Iter: iter, Value: g})
 	})
 	cfg.Observer = ob
+	if err := c.applyPolicies(&cfg, m); err != nil {
+		return err
+	}
 	if err := ff.apply(&cfg); err != nil {
 		return err
 	}

@@ -64,8 +64,8 @@ func checkFile(path string, prefix bool, out io.Writer) error {
 	if prefix {
 		fmt.Fprintf(out, "%s: ", path)
 	}
-	fmt.Fprintf(out, "ok: %d records, %d rounds (%d skipped), %d messages, %d bytes, %d dropped, %d rejoined, %d rejected, %d stale applied, %d stale dropped\n",
-		n, cum.Rounds, cum.SkippedRounds, cum.Messages, cum.Bytes, cum.Dropped, cum.Rejoined, cum.Rejected, cum.StaleApplied, cum.StaleDropped)
+	fmt.Fprintf(out, "ok: %d records, %d rounds (%d skipped), %d messages, %d bytes, %d dropped, %d rejoined, %d rejected, %d stale applied, %d stale dropped, %d budget filtered\n",
+		n, cum.Rounds, cum.SkippedRounds, cum.Messages, cum.Bytes, cum.Dropped, cum.Rejoined, cum.Rejected, cum.StaleApplied, cum.StaleDropped, cum.BudgetFiltered)
 	return nil
 }
 
@@ -142,6 +142,7 @@ func cumMonotone(a, b obs.Totals) error {
 		{"skipped_rounds", int64(a.SkippedRounds), int64(b.SkippedRounds)},
 		{"stale_applied", int64(a.StaleApplied), int64(b.StaleApplied)},
 		{"stale_dropped", int64(a.StaleDropped), int64(b.StaleDropped)},
+		{"budget_filtered", int64(a.BudgetFiltered), int64(b.BudgetFiltered)},
 	} {
 		if p.new < p.old {
 			return fmt.Errorf("cumulative %s regressed from %d to %d", p.name, p.old, p.new)

@@ -5,8 +5,8 @@ import (
 	"testing"
 )
 
-const goodLines = `{"schema":2,"round":1,"iter":5,"t0":5,"alive":3,"dur_ms":1,"msgs":6,"bytes":480,"update_norm":0.5,"dispersion":0.1,"cum":{"rounds":1,"messages":6,"bytes":480,"dropped":0,"rejoined":0,"rejected":0,"skipped_rounds":0,"stale_applied":0,"stale_dropped":0}}
-{"schema":2,"round":2,"iter":10,"t0":5,"alive":3,"dur_ms":1,"msgs":6,"bytes":480,"update_norm":0.4,"dispersion":0.1,"stale_applied":1,"cum":{"rounds":2,"messages":12,"bytes":960,"dropped":0,"rejoined":0,"rejected":0,"skipped_rounds":0,"stale_applied":1,"stale_dropped":0}}
+const goodLines = `{"schema":3,"round":1,"iter":5,"t0":5,"alive":3,"dur_ms":1,"msgs":6,"bytes":480,"update_norm":0.5,"dispersion":0.1,"cum":{"rounds":1,"messages":6,"bytes":480,"dropped":0,"rejoined":0,"rejected":0,"skipped_rounds":0,"stale_applied":0,"stale_dropped":0}}
+{"schema":3,"round":2,"iter":10,"t0":5,"alive":3,"dur_ms":1,"msgs":6,"bytes":480,"update_norm":0.4,"dispersion":0.1,"stale_applied":1,"cum":{"rounds":2,"messages":12,"bytes":960,"dropped":0,"rejoined":0,"rejected":0,"skipped_rounds":0,"stale_applied":1,"stale_dropped":0}}
 `
 
 func TestValidateAccepts(t *testing.T) {
@@ -25,19 +25,19 @@ func TestValidateRejects(t *testing.T) {
 		"bad json":    "{nope}\n",
 		"wrong schema": `{"schema":9,"round":1,"iter":5,"msgs":0,"bytes":0,"cum":{}}
 `,
-		"round not increasing": `{"schema":2,"round":2,"iter":5,"msgs":0,"bytes":0,"cum":{}}
-{"schema":2,"round":2,"iter":10,"msgs":0,"bytes":0,"cum":{}}
+		"round not increasing": `{"schema":3,"round":2,"iter":5,"msgs":0,"bytes":0,"cum":{}}
+{"schema":3,"round":2,"iter":10,"msgs":0,"bytes":0,"cum":{}}
 `,
-		"iter regression": `{"schema":2,"round":1,"iter":10,"msgs":0,"bytes":0,"cum":{}}
-{"schema":2,"round":2,"iter":5,"msgs":0,"bytes":0,"cum":{}}
+		"iter regression": `{"schema":3,"round":1,"iter":10,"msgs":0,"bytes":0,"cum":{}}
+{"schema":3,"round":2,"iter":5,"msgs":0,"bytes":0,"cum":{}}
 `,
-		"cum regression": `{"schema":2,"round":1,"iter":5,"msgs":2,"bytes":16,"cum":{"rounds":1,"messages":2,"bytes":16}}
-{"schema":2,"round":2,"iter":10,"msgs":2,"bytes":16,"cum":{"rounds":2,"messages":1,"bytes":32}}
+		"cum regression": `{"schema":3,"round":1,"iter":5,"msgs":2,"bytes":16,"cum":{"rounds":1,"messages":2,"bytes":16}}
+{"schema":3,"round":2,"iter":10,"msgs":2,"bytes":16,"cum":{"rounds":2,"messages":1,"bytes":32}}
 `,
-		"stale cum regression": `{"schema":2,"round":1,"iter":5,"msgs":2,"bytes":16,"cum":{"rounds":1,"messages":2,"bytes":16,"stale_applied":3}}
-{"schema":2,"round":2,"iter":10,"msgs":2,"bytes":16,"cum":{"rounds":2,"messages":4,"bytes":32,"stale_applied":2}}
+		"stale cum regression": `{"schema":3,"round":1,"iter":5,"msgs":2,"bytes":16,"cum":{"rounds":1,"messages":2,"bytes":16,"stale_applied":3}}
+{"schema":3,"round":2,"iter":10,"msgs":2,"bytes":16,"cum":{"rounds":2,"messages":4,"bytes":32,"stale_applied":2}}
 `,
-		"delta sum mismatch": `{"schema":2,"round":1,"iter":5,"msgs":2,"bytes":16,"cum":{"rounds":1,"messages":5,"bytes":16}}
+		"delta sum mismatch": `{"schema":3,"round":1,"iter":5,"msgs":2,"bytes":16,"cum":{"rounds":1,"messages":5,"bytes":16}}
 `,
 	}
 	for name, input := range cases {

@@ -44,6 +44,10 @@ type RunState struct {
 	SkippedRounds int   `json:"skipped_rounds"`
 	StaleApplied  int   `json:"stale_applied,omitempty"`
 	StaleDropped  int   `json:"stale_dropped,omitempty"`
+	// BudgetFiltered was added with energy-budgeted scheduling; like the
+	// stale counters, older snapshots decode with zero and need no version
+	// bump.
+	BudgetFiltered int `json:"budget_filtered,omitempty"`
 }
 
 // Validate checks internal consistency.

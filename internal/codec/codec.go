@@ -46,6 +46,11 @@ const (
 	// ModeDelta marks a payload that only applies on top of the receiver's
 	// reference state (topk).
 	ModeDelta byte = 2
+	// ModeMasked marks a structurally sparse payload: an explicit list of
+	// index ranges followed by an inner-codec payload covering only those
+	// coordinates. The receiver scatters the decoded sub-vector into its
+	// reference copy of the full vector (see Masked).
+	ModeMasked byte = 3
 )
 
 // ErrDesync reports that a stateful decode cannot proceed because the
@@ -110,6 +115,42 @@ func Names() []string { return []string{"raw", "f16", "q8", "topk", "topk:<frac>
 
 // IsFull reports whether payload is a full (self-contained) message — the
 // resync signal a receiver uses to reset its own outbound reference chain.
+// A masked payload is "full" when its inner payload is: a masked resync
+// restarts the inner reference chain over the masked coordinate set without
+// re-shipping the frozen coordinates.
 func IsFull(payload []byte) bool {
+	if len(payload) > 0 && payload[0] == ModeMasked {
+		_, inner, err := parseMaskHeader(payload)
+		return err == nil && IsFull(inner)
+	}
 	return len(payload) > 0 && payload[0] == ModeFull
+}
+
+// WireSize reports the steady-state encoded size in bytes of one
+// dim-parameter message under spec, the figure the what-if cost estimators
+// must use instead of assuming 8 B/param. The empty spec is the
+// payload-free []float64 path (exactly 8 B/param). Stateless codecs are
+// measured by encoding one representative vector; stateful (delta) codecs
+// are measured on their second message, after the reference chain is
+// established — the size every message but the first has.
+func WireSize(spec string, dim int) (int, error) {
+	if spec == "" {
+		return 8 * dim, nil
+	}
+	c, err := New(spec)
+	if err != nil {
+		return 0, err
+	}
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = float64(i%17)*0.25 - 2
+	}
+	if _, err := c.Encode(v); err != nil {
+		return 0, fmt.Errorf("codec: sizing %q: %w", spec, err)
+	}
+	p, err := c.Encode(v)
+	if err != nil {
+		return 0, fmt.Errorf("codec: sizing %q: %w", spec, err)
+	}
+	return len(p), nil
 }

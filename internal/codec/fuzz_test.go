@@ -76,6 +76,30 @@ func FuzzCodecRoundTrip(f *testing.F) {
 				t.Fatalf("%s: Decode returned nil vector without error", spec)
 			}
 			_, _ = dec.Decode(data)
+
+			// Interpretation 3: the same hostile payload through the masked
+			// wrapper, with and without a reference — the mask framing
+			// parser must reject or parse, never panic.
+			mInner, _ := New(spec)
+			masked := NewMasked(mInner)
+			_, _, _ = masked.DecodeMasked(data, nil)
+			_, _, _ = masked.DecodeMasked(data, params)
+			// And a legitimate masked round-trip over a data-derived mask.
+			if n := len(params); n >= 2 {
+				ranges := []Range{{Lo: n / 4, Hi: n/4 + 1 + n/3}}
+				if ranges[0].Hi > n {
+					ranges[0].Hi = n
+				}
+				mp, err := masked.EncodeMasked(params, ranges)
+				if err != nil {
+					t.Fatalf("%s: masked Encode: %v", spec, err)
+				}
+				mDec := NewMasked(fresh)
+				out, got, err := mDec.DecodeMasked(mp, params)
+				if err != nil || len(out) != n || !EqualRanges(got, ranges) {
+					t.Fatalf("%s: masked round-trip: ranges=%v err=%v", spec, got, err)
+				}
+			}
 		}
 	})
 }

@@ -85,6 +85,15 @@ func RunAsyncPlatform(links []transport.Link, weights []float64, theta0 tensor.V
 	defer ls.finish()
 
 	theta := theta0.Clone()
+	if c.SyncMask != nil {
+		if err := c.SyncMask.validateDim(len(theta)); err != nil {
+			return nil, stats, err
+		}
+	}
+	bp, err := newBudgetPolicy(c, weights, 0, len(theta))
+	if err != nil {
+		return nil, stats, err
+	}
 	agg := newAggCore(0, len(links), len(theta))
 	selector := newParticipationSelector(c, len(links), 0)
 	pi := selector.inclusionProb()
@@ -97,6 +106,12 @@ func RunAsyncPlatform(links []transport.Link, weights []float64, theta0 tensor.V
 	var prevTheta tensor.Vec
 	if ls.obs != nil {
 		prevTheta = make(tensor.Vec, len(theta))
+	}
+	// frozenRef snapshots the pre-aggregation θ when the sync mask is frozen
+	// (see RunPlatform): frozen coordinates are restored after ScaleInto.
+	var frozenRef tensor.Vec
+	if c.SyncMask != nil {
+		frozenRef = make(tensor.Vec, len(theta))
 	}
 
 	// pending[i] is the θ-version assigned to node i and not yet resolved
@@ -172,7 +187,7 @@ func RunAsyncPlatform(links []transport.Link, weights []float64, theta0 tensor.V
 				continue
 			}
 			pending[i] = -1
-			msg, err := ls.asyncGather(i, round, len(theta), pollTO)
+			msg, err := ls.asyncGather(i, round, theta, pollTO)
 			switch {
 			case err == nil:
 				ls.billUp(i, round, wireBytes(msg))
@@ -197,7 +212,13 @@ func RunAsyncPlatform(links []transport.Link, weights []float64, theta0 tensor.V
 		for i := range fresh {
 			fresh[i] = false
 		}
-		for _, i := range selector.selectAlive(round, ls.alive) {
+		selected := selector.selectAlive(round, ls.alive)
+		if bp != nil {
+			selected = bp.filter(round, t0, selected, func(i int, joules float64) {
+				ls.markBudgetFiltered(i, round, joules)
+			})
+		}
+		for _, i := range selected {
 			if pending[i] >= 0 {
 				continue
 			}
@@ -295,7 +316,7 @@ func RunAsyncPlatform(links []transport.Link, weights []float64, theta0 tensor.V
 					continue
 				}
 				anyPending = true
-				msg, err := ls.asyncGather(i, round, len(theta), pollTO)
+				msg, err := ls.asyncGather(i, round, theta, pollTO)
 				switch {
 				case err == nil:
 					resolved := msg.Version == pending[i]
@@ -329,8 +350,9 @@ func RunAsyncPlatform(links []transport.Link, weights []float64, theta0 tensor.V
 		// Probe gathers: a suspect that answered rejoins and its reply (at
 		// the probed version, staleness 0) aggregates like any other.
 		for _, i := range probeNodes {
-			msg, err := ls.gatherFrom(i, round, len(theta), ls.probeTO)
+			msg, err := ls.gatherFrom(i, round, theta, ls.probeTO)
 			if err != nil {
+				ls.probeFailed(i)
 				continue // still unreachable; stays suspect
 			}
 			ls.rejoin(i, round)
@@ -363,7 +385,14 @@ func RunAsyncPlatform(links []transport.Link, weights []float64, theta0 tensor.V
 		if ls.obs != nil {
 			prevTheta.CopyFrom(theta)
 		}
+		frozen := c.SyncMask.frozenAt(round)
+		if frozen {
+			frozenRef.CopyFrom(theta)
+		}
 		sum.ScaleInto(1/denom, theta)
+		if frozen {
+			restoreFrozen(theta, frozenRef, c.SyncMask.Ranges)
+		}
 		dispersion = agg.dispersion(theta, denom)
 		iter += t0
 		ls.stats.Rounds++ // this is the version bump: θ changed

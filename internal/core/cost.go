@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -65,13 +66,47 @@ func (tm TimeModel) Estimate(stats CommStats, totalIters, paramBytes int) (time.
 		msgs = 2 * stats.Rounds // idealized downlink + uplink per round
 		bytes = int64(msgs) * int64(paramBytes)
 	}
+	// Every term saturates at MaxInt64 instead of wrapping: huge byte
+	// counts on slow links (a lora-like profile at fleet-scale node counts)
+	// used to overflow the float64→Duration conversion and come back
+	// negative.
 	var transfer time.Duration
 	if tm.BandwidthBps > 0 {
-		transfer = time.Duration(float64(bytes) / tm.BandwidthBps * float64(time.Second))
+		transfer = durationFromSeconds(float64(bytes) / tm.BandwidthBps)
 	}
-	comm := time.Duration(msgs)*tm.OneWayLatency + transfer
-	compute := time.Duration(totalIters) * tm.LocalStepTime
-	return comm + compute, nil
+	comm := satAddDuration(satMulDuration(msgs, tm.OneWayLatency), transfer)
+	compute := satMulDuration(totalIters, tm.LocalStepTime)
+	return satAddDuration(comm, compute), nil
+}
+
+// durationFromSeconds converts non-negative seconds to a Duration,
+// saturating at MaxInt64 where the naive conversion overflows int64 (the
+// result of such a conversion is platform-dependent and typically negative).
+func durationFromSeconds(sec float64) time.Duration {
+	ns := sec * float64(time.Second)
+	if ns >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(ns)
+}
+
+// satMulDuration returns n·d, saturating at MaxInt64.
+func satMulDuration(n int, d time.Duration) time.Duration {
+	if n <= 0 || d <= 0 {
+		return 0
+	}
+	if int64(d) > math.MaxInt64/int64(n) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(n) * d
+}
+
+// satAddDuration returns a+b for non-negative a, b, saturating at MaxInt64.
+func satAddDuration(a, b time.Duration) time.Duration {
+	if a > time.Duration(math.MaxInt64)-b {
+		return time.Duration(math.MaxInt64)
+	}
+	return a + b
 }
 
 // EdgeProfiles are representative network profiles for the trade-off
@@ -82,5 +117,57 @@ func EdgeProfiles(localStep time.Duration) map[string]TimeModel {
 		"lora-like":  {OneWayLatency: 500 * time.Millisecond, BandwidthBps: 6e3, LocalStepTime: localStep},
 		"wifi":       {OneWayLatency: 20 * time.Millisecond, BandwidthBps: 2e6, LocalStepTime: localStep},
 		"datacenter": {OneWayLatency: 200 * time.Microsecond, BandwidthBps: 1e9, LocalStepTime: localStep},
+	}
+}
+
+// EnergyModel prices a node's share of a federated round in joules: radio
+// energy per byte in each direction plus compute energy per local
+// meta-iteration. It is the energy counterpart of TimeModel — the quantity
+// the Elgabli-style budgeted scheduler maximizes progress against, and the
+// y-axis companion of the ext-energy accuracy-vs-joules curves. The zero
+// value prices everything at 0 J; Validate rejects negative or non-finite
+// coefficients.
+type EnergyModel struct {
+	// TxJPerByte is the radio energy to transmit one byte (node uplink).
+	TxJPerByte float64
+	// RxJPerByte is the radio energy to receive one byte (node downlink).
+	RxJPerByte float64
+	// ComputeJPerIter is the energy of one local meta-iteration.
+	ComputeJPerIter float64
+}
+
+// Validate checks the model.
+func (em EnergyModel) Validate() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"tx J/byte", em.TxJPerByte},
+		{"rx J/byte", em.RxJPerByte},
+		{"compute J/iter", em.ComputeJPerIter},
+	} {
+		if c.v < 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("core: energy model %s = %v (want finite, ≥ 0)", c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// RoundJoules prices one node's participation in one round: rxBytes
+// received (broadcast), txBytes sent (update), and iters local iterations.
+func (em EnergyModel) RoundJoules(rxBytes, txBytes int64, iters int) float64 {
+	return em.RxJPerByte*float64(rxBytes) + em.TxJPerByte*float64(txBytes) + em.ComputeJPerIter*float64(iters)
+}
+
+// EnergyProfiles are representative per-node energy profiles matching
+// EdgeProfiles: a LoRa-class radio whose slow airtime makes every byte
+// expensive (radio-dominated), a WiFi radio, and a datacenter NIC where
+// compute dominates. computeJPerIter is the workload-dependent term, passed
+// in like EdgeProfiles' localStep.
+func EnergyProfiles(computeJPerIter float64) map[string]EnergyModel {
+	return map[string]EnergyModel{
+		"lora-like":  {TxJPerByte: 1.2e-3, RxJPerByte: 9e-4, ComputeJPerIter: computeJPerIter},
+		"wifi":       {TxJPerByte: 6e-6, RxJPerByte: 4e-6, ComputeJPerIter: computeJPerIter},
+		"datacenter": {TxJPerByte: 5e-8, RxJPerByte: 5e-8, ComputeJPerIter: computeJPerIter},
 	}
 }

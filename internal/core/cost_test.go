@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -155,5 +156,88 @@ func TestEdgeProfiles(t *testing.T) {
 		if tm.LocalStepTime != time.Millisecond {
 			t.Errorf("profile %s lost the step time", name)
 		}
+	}
+}
+
+// TestTimeModelEstimateSaturates is the regression test for the int64
+// overflow: huge byte counts on slow links (lora-like profile at ext-scale
+// node counts) used to overflow the float64→Duration conversion and return
+// a negative duration. The estimate must saturate at MaxInt64 instead.
+func TestTimeModelEstimateSaturates(t *testing.T) {
+	tm := EdgeProfiles(time.Millisecond)["lora-like"]
+	// ~10⁶ nodes × 10⁵ rounds × 1 MB params ≈ 2·10¹⁷ bytes at 6 kB/s:
+	// ≈3·10¹³ seconds, ≫ MaxInt64 ns (≈9.2·10⁹ s).
+	stats := CommStats{Rounds: 100_000, Messages: 2_000_000_000, Bytes: 2e17}
+	got, err := tm.Estimate(stats, 1_000_000, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 {
+		t.Fatalf("estimate overflowed negative: %v", got)
+	}
+	if got != time.Duration(math.MaxInt64) {
+		t.Fatalf("estimate = %v, want saturation at MaxInt64", got)
+	}
+
+	// The message-latency product alone must saturate too.
+	latOnly := TimeModel{OneWayLatency: time.Hour}
+	got, err = latOnly.Estimate(CommStats{Rounds: 1, Messages: math.MaxInt32 * 1000, Bytes: 1}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != time.Duration(math.MaxInt64) {
+		t.Fatalf("latency-only estimate = %v, want saturation", got)
+	}
+
+	// Sane inputs keep their exact value.
+	tm2 := TimeModel{OneWayLatency: 10 * time.Millisecond, BandwidthBps: 1e6, LocalStepTime: time.Millisecond}
+	got, err = tm2.Estimate(CommStats{Rounds: 10}, 100, 100_000)
+	if err != nil || got != 2300*time.Millisecond {
+		t.Fatalf("saturating path changed the in-range estimate: %v, %v", got, err)
+	}
+}
+
+func TestEnergyModelValidate(t *testing.T) {
+	bad := []EnergyModel{
+		{TxJPerByte: -1},
+		{RxJPerByte: -1},
+		{ComputeJPerIter: -1},
+		{TxJPerByte: math.NaN()},
+		{RxJPerByte: math.Inf(1)},
+	}
+	for i, em := range bad {
+		if err := em.Validate(); err == nil {
+			t.Errorf("bad energy model %d accepted", i)
+		}
+	}
+	if err := (EnergyModel{}).Validate(); err != nil {
+		t.Errorf("zero energy model rejected: %v", err)
+	}
+}
+
+func TestEnergyModelRoundJoules(t *testing.T) {
+	em := EnergyModel{TxJPerByte: 2, RxJPerByte: 3, ComputeJPerIter: 5}
+	if got := em.RoundJoules(10, 100, 7); got != 3*10+2*100+5*7 {
+		t.Fatalf("RoundJoules = %v, want %v", got, 3*10+2*100+5*7)
+	}
+}
+
+// TestEnergyProfiles pins the qualitative shape the ext-energy experiment
+// relies on: the lora-like profile is radio-dominated (a single KB costs
+// more than many iterations of compute), and profiles parallel EdgeProfiles.
+func TestEnergyProfiles(t *testing.T) {
+	profiles := EnergyProfiles(5e-3)
+	for name := range EdgeProfiles(time.Millisecond) {
+		em, ok := profiles[name]
+		if !ok {
+			t.Fatalf("no energy profile for edge profile %q", name)
+		}
+		if err := em.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	lora := profiles["lora-like"]
+	if radio := lora.RoundJoules(1024, 1024, 0); radio < 100*lora.RoundJoules(0, 0, 1) {
+		t.Fatalf("lora-like is not radio-dominated: 1 KiB each way = %v J vs 1 iter = %v J", radio, lora.RoundJoules(0, 0, 1))
 	}
 }

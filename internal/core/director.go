@@ -60,6 +60,11 @@ func RunDirector(shards []transport.Link, ranges []ShardRange, theta0 tensor.Vec
 
 	S := len(shards)
 	theta := theta0.Clone()
+	if c.SyncMask != nil {
+		if err := c.SyncMask.validateDim(len(theta)); err != nil {
+			return nil, stats, nil, err
+		}
+	}
 	merge := newMergeCore(ranges, len(theta))
 	useHT := c.UnbiasedParticipation && c.samplingActive()
 	ft := c.RoundTimeout > 0
@@ -80,6 +85,13 @@ func RunDirector(shards []transport.Link, ranges []ShardRange, theta0 tensor.Vec
 	obsv := c.Observer
 	if obsv != nil {
 		prevTheta = make(tensor.Vec, len(theta))
+	}
+	// frozenRef snapshots the pre-aggregation θ when the sync mask is frozen:
+	// the director is where sharded runs normalize, so it restores the frozen
+	// coordinates after ScaleInto exactly like the flat platform.
+	var frozenRef tensor.Vec
+	if c.SyncMask != nil {
+		frozenRef = make(tensor.Vec, len(theta))
 	}
 	// rootStats folds the three accounting layers: the resumed baseline,
 	// the director's own round counters, and the latest cumulative totals
@@ -208,7 +220,14 @@ func RunDirector(shards []transport.Link, ranges []ShardRange, theta0 tensor.Vec
 		if obsv != nil {
 			prevTheta.CopyFrom(theta)
 		}
+		frozen := c.SyncMask.frozenAt(round)
+		if frozen {
+			frozenRef.CopyFrom(theta)
+		}
 		sum.ScaleInto(1/denom, theta)
+		if frozen {
+			restoreFrozen(theta, frozenRef, c.SyncMask.Ranges)
+		}
 		// The hierarchical dispersion proxy: each contributing shard's
 		// within-shard dispersion plus its aggregate's drift from the new
 		// global θ, weighted like the aggregation itself. It upper-bounds

@@ -104,15 +104,36 @@ type linkSet struct {
 	// places either side changes).
 	obs obs.RoundObserver
 
-	// codecSpec/down/up hold the update-compression state when Config.Codec
-	// selects a non-raw codec: one downlink encoder and one uplink decoder
-	// per link, so stateful codecs keep an independent reference chain per
-	// node. All three stay nil/empty for raw runs, preserving the
-	// allocation-free Params hot path.
+	// codecSpec/down/up hold the payload-path state when Config.Codec
+	// selects a non-raw codec or a SyncMask is configured: one downlink
+	// encoder and one uplink decoder per link (wrapped in codec.Masked so
+	// structural masking composes with any inner compression), so stateful
+	// codecs keep an independent reference chain per node. All three stay
+	// nil/empty for raw unmasked runs, preserving the allocation-free Params
+	// hot path.
 	codecSpec string
-	down      []codec.Codec
-	up        []codec.Codec
+	down      []*codec.Masked
+	up        []*codec.Masked
+
+	// Sync-mask state, nil/empty unless c.SyncMask is set. maskReady[i]
+	// records that link i has been sent a full payload this process
+	// lifetime, the precondition for masked traffic (a resumed platform or
+	// an escalated resync starts false). probeFails[i] counts consecutive
+	// failed re-probes; at probeEscalation it clears maskReady so the next
+	// probe carries a full payload — the recovery path for a node that lost
+	// its scatter reference entirely. lastMasked[i] tracks the downlink's
+	// last payload shape for TypeMaskSync transition events.
+	maskReady  []bool
+	probeFails []int
+	lastMasked []bool
 }
+
+// probeEscalation is the number of consecutive failed re-probes after which
+// a masked run stops offering masked resyncs (inner chain restarts over the
+// masked set — sufficient when the node kept its state through a transient
+// fault) and sends one full unmasked payload instead (necessary when the
+// node restarted and holds no reference to scatter into).
+const probeEscalation = 2
 
 // newLinkSet builds the link layer over node links whose global indices
 // start at base. c must already be normalized and validated. The caller must
@@ -148,18 +169,37 @@ func newLinkSet(c Config, links []transport.Link, base int) *linkSet {
 		ls.alive[i] = true
 		ls.expectID[i] = -1
 	}
-	if c.Codec != "" && c.Codec != codec.Raw {
+	if (c.Codec != "" && c.Codec != codec.Raw) || c.SyncMask != nil {
 		// One encoder/decoder pair per link: stateful codecs track each
 		// node's reference chain independently. Validate caught bad specs.
-		ls.codecSpec = c.Codec
-		ls.down = make([]codec.Codec, len(links))
-		ls.up = make([]codec.Codec, len(links))
+		// Mask-only runs (no compression configured) still need the payload
+		// path for the masked wire format, so they ride on the raw codec.
+		spec := c.Codec
+		if spec == "" {
+			spec = codec.Raw
+		}
+		ls.codecSpec = spec
+		ls.down = make([]*codec.Masked, len(links))
+		ls.up = make([]*codec.Masked, len(links))
 		for i := range links {
-			ls.down[i], _ = codec.New(c.Codec)
-			ls.up[i], _ = codec.New(c.Codec)
+			di, _ := codec.New(spec)
+			ui, _ := codec.New(spec)
+			ls.down[i] = codec.NewMasked(di)
+			ls.up[i] = codec.NewMasked(ui)
 		}
 	}
+	if c.SyncMask != nil {
+		ls.maskReady = make([]bool, len(links))
+		ls.probeFails = make([]int, len(links))
+		ls.lastMasked = make([]bool, len(links))
+	}
 	return ls
+}
+
+// roundMask is the wire mask for round's parameter traffic: nil until the
+// warmup ends or when no sync-mask policy is configured.
+func (ls *linkSet) roundMask(round int) []codec.Range {
+	return ls.c.SyncMask.maskFor(round)
 }
 
 // finish releases the I/O resources (async pumps in fault-tolerant mode).
@@ -175,10 +215,13 @@ func wireBytes(m transport.Msg) int64 {
 }
 
 // paramsMsg builds the KindParams message carrying theta to link i.
-// Raw runs ship a clone of theta (ownership transfers on Send); codec runs
+// Raw runs ship a clone of theta (ownership transfers on Send); payload runs
 // encode through link i's downlink encoder. resync restarts the link's
-// reference chains first, so the message is guaranteed to be a full payload
-// any decoder state can accept — the recovery offer sent with every probe.
+// reference chains first, so the message is guaranteed to be a payload any
+// decoder state can accept — the recovery offer sent with every probe. Under
+// a sync mask that resync is itself masked (an inner full sync of the masked
+// set only); the escalation to a full unmasked payload is driven by
+// maskReady, cleared after probeEscalation consecutive failed probes.
 func (ls *linkSet) paramsMsg(theta tensor.Vec, i, round, t0 int, resync bool) (transport.Msg, error) {
 	m := transport.Msg{Kind: transport.KindParams, Round: round, LocalSteps: t0}
 	if ls.down == nil {
@@ -188,9 +231,31 @@ func (ls *linkSet) paramsMsg(theta tensor.Vec, i, round, t0 int, resync bool) (t
 	if resync {
 		ls.resyncLink(i)
 	}
-	payload, err := ls.down[i].Encode(theta)
+	mask := ls.roundMask(round)
+	if mask != nil && !ls.maskReady[i] {
+		// First payload on this link (fresh start, resumed platform, or an
+		// escalated resync): only a full payload can establish the scatter
+		// reference a masked payload needs.
+		mask = nil
+	}
+	payload, err := ls.down[i].EncodeMasked(theta, mask)
 	if err != nil {
 		return transport.Msg{}, fmt.Errorf("core: encode broadcast for node %d: %w", ls.base+i, err)
+	}
+	if ls.maskReady != nil {
+		if mask == nil {
+			ls.maskReady[i] = true
+		}
+		if masked := mask != nil; masked != ls.lastMasked[i] {
+			ls.lastMasked[i] = masked
+			if ls.obs != nil {
+				cause := "full"
+				if masked {
+					cause = "masked"
+				}
+				ls.obs.Observe(obs.Event{Type: obs.TypeMaskSync, Round: round, Node: ls.base + i, Value: float64(codec.MaskLen(mask)), Cause: cause})
+			}
+		}
 	}
 	m.Codec = ls.codecSpec
 	m.Payload = payload
@@ -211,13 +276,25 @@ func (ls *linkSet) resyncLink(i int) {
 // decodeUp expands the compressed update carried by msg through link i's
 // uplink decoder, filling msg.Params in place. Every failure wraps
 // errDecode so the round loop can tell wire damage from protocol abuse.
-func (ls *linkSet) decodeUp(i int, msg *transport.Msg) error {
+//
+// theta is the platform's current global vector: masked payloads scatter
+// into it, so the frozen coordinates of the decoded update are θ's
+// bit-exactly. A full (unmasked) reply arriving while the mask is active —
+// recovery traffic after an escalated resync, or a warmup-era straggler on
+// the async path — is projected onto the mask for the same reason: under an
+// active mask the accepted vector is always θ outside the mask and the
+// node's values inside it, so frozen coordinates cannot drift no matter
+// which payload shape delivered them.
+func (ls *linkSet) decodeUp(i, round int, msg *transport.Msg, theta tensor.Vec) error {
 	if ls.up == nil || msg.Codec != ls.codecSpec {
 		return fmt.Errorf("%w: node %d sent codec %q, platform expects %q", errDecode, ls.base+i, msg.Codec, ls.codecSpec)
 	}
-	params, err := ls.up[i].Decode(msg.Payload)
+	params, wireRanges, err := ls.up[i].DecodeMasked(msg.Payload, theta)
 	if err != nil {
 		return fmt.Errorf("%w: node %d: %v", errDecode, ls.base+i, err)
+	}
+	if mask := ls.roundMask(round); mask != nil && wireRanges == nil && len(params) == len(theta) {
+		projectMask(params, theta, mask)
 	}
 	msg.Params = params
 	return nil
@@ -271,11 +348,41 @@ func (ls *linkSet) markSuspect(i, round int, cause error) {
 	ls.logf("core: dropped node %d in round %d (%d alive): %v", ls.base+i, round, ls.aliveCnt, cause)
 }
 
+// markBudgetFiltered accounts a sampled node excluded from round because its
+// modeled cost (joules) exceeded the energy/deadline budget. Like the other
+// billing helpers, this is the only place counter or event side changes.
+func (ls *linkSet) markBudgetFiltered(i, round int, joules float64) {
+	ls.stats.BudgetFiltered++
+	if ls.obs != nil {
+		ls.obs.Observe(obs.Event{Type: obs.TypeBudgetFilter, Round: round, Node: ls.base + i, Value: joules})
+	}
+	ls.logf("core: node %d filtered from round %d by budget (modeled %.3g J)", ls.base+i, round, joules)
+}
+
+// probeFailed records one more unanswered (or undecodable) re-probe of
+// suspect i. Under a sync mask, probeEscalation consecutive failures clear
+// the link's maskReady flag: the masked resync offer was not enough, so the
+// next probe carries a full unmasked payload that can rebuild the node's
+// scatter reference from nothing.
+func (ls *linkSet) probeFailed(i int) {
+	if ls.probeFails == nil {
+		return
+	}
+	ls.probeFails[i]++
+	if ls.probeFails[i] >= probeEscalation {
+		ls.maskReady[i] = false
+		ls.probeFails[i] = 0
+	}
+}
+
 // rejoin re-admits a suspect node that answered a re-probe.
 func (ls *linkSet) rejoin(i, round int) {
 	ls.alive[i] = true
 	ls.aliveCnt++
 	ls.stats.Rejoined++
+	if ls.probeFails != nil {
+		ls.probeFails[i] = 0
+	}
 	if ls.obs != nil {
 		ls.obs.Observe(obs.Event{Type: obs.TypeRejoin, Round: round, Node: ls.base + i, Alive: ls.aliveCnt})
 	}
@@ -324,7 +431,10 @@ func (ls *linkSet) bindNodeID(i, id int) error {
 // validating protocol shape and NodeID binding. In fault-tolerant mode it
 // drains stale answers to earlier rounds (late replies from a node that
 // was dropped and is coming back) instead of treating them as violations.
-func (ls *linkSet) gatherFrom(i, round, dim int, d time.Duration) (transport.Msg, error) {
+// theta is the current global vector masked payloads scatter into; its
+// length is the expected update dimension.
+func (ls *linkSet) gatherFrom(i, round int, theta tensor.Vec, d time.Duration) (transport.Msg, error) {
+	dim := len(theta)
 	deadline := time.Now().Add(d)
 	for {
 		remain := d
@@ -361,7 +471,7 @@ func (ls *linkSet) gatherFrom(i, round, dim int, d time.Duration) (transport.Msg
 		if msg.Codec != "" || len(msg.Payload) > 0 {
 			// The message is returned alongside the error so the caller can
 			// bill the bytes that did cross the wire.
-			if err := ls.decodeUp(i, &msg); err != nil {
+			if err := ls.decodeUp(i, round, &msg, theta); err != nil {
 				return msg, err
 			}
 			if len(msg.Params) != dim {
@@ -382,8 +492,11 @@ func (ls *linkSet) gatherFrom(i, round, dim int, d time.Duration) (transport.Msg
 // instead of discarding late answers, so there is no stale-drain loop here.
 // Codec decode, shape, and NodeID binding are validated exactly like
 // gatherFrom; decode failures return the message alongside the error so the
-// caller can bill the bytes that crossed the wire.
-func (ls *linkSet) asyncGather(i, round, dim int, d time.Duration) (transport.Msg, error) {
+// caller can bill the bytes that crossed the wire. theta is the current
+// global vector masked payloads scatter into; its length is the expected
+// update dimension.
+func (ls *linkSet) asyncGather(i, round int, theta tensor.Vec, d time.Duration) (transport.Msg, error) {
+	dim := len(theta)
 	msg, err := ls.ops.recv(i, d)
 	if err != nil {
 		return transport.Msg{}, fmt.Errorf("core: async gather from node %d in round %d: %w", ls.base+i, round, err)
@@ -395,7 +508,7 @@ func (ls *linkSet) asyncGather(i, round, dim int, d time.Duration) (transport.Ms
 		return transport.Msg{}, fmt.Errorf("%w: expected update, got %v from node %d", ErrProtocol, msg.Kind, ls.base+i)
 	}
 	if msg.Codec != "" || len(msg.Payload) > 0 {
-		if err := ls.decodeUp(i, &msg); err != nil {
+		if err := ls.decodeUp(i, round, &msg, theta); err != nil {
 			return msg, err
 		}
 		if len(msg.Params) != dim {
@@ -485,7 +598,7 @@ func (ls *linkSet) gatherRound(round, t0 int, theta tensor.Vec, selected []int, 
 		accept(i, tensor.Vec(msg.Params))
 	}
 	for _, i := range roundNodes {
-		msg, err := ls.gatherFrom(i, round, len(theta), ls.c.RoundTimeout)
+		msg, err := ls.gatherFrom(i, round, theta, ls.c.RoundTimeout)
 		if err != nil {
 			if ls.ft && errors.Is(err, errDecode) {
 				// Delivered but undecodable (wire corruption or a broken
@@ -518,8 +631,9 @@ func (ls *linkSet) gatherRound(round, t0 int, theta tensor.Vec, selected []int, 
 		deliver(i, msg)
 	}
 	for _, i := range probeNodes {
-		msg, err := ls.gatherFrom(i, round, len(theta), ls.probeTO)
+		msg, err := ls.gatherFrom(i, round, theta, ls.probeTO)
 		if err != nil {
+			ls.probeFailed(i)
 			continue // still unreachable; stays suspect
 		}
 		ls.rejoin(i, round)

@@ -146,10 +146,13 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 
 	// Codec state mirrors the platform: every parameter message carries the
 	// codec tag, so the node instantiates the matching decoder/encoder pair
-	// on first sight and re-creates it if the tag ever changes.
+	// on first sight and re-creates it if the tag ever changes. Both sides
+	// are mask-aware: a masked broadcast scatters into the node's retained
+	// reference, and the node mirrors the broadcast's mask on its reply so
+	// only the synced coordinates travel back.
 	var (
-		downDec codec.Codec // decodes platform→node parameter payloads
-		upEnc   codec.Codec // encodes this node's update replies
+		downDec *codec.Masked // decodes platform→node parameter payloads
+		upEnc   *codec.Masked // encodes this node's update replies
 	)
 
 	for {
@@ -162,14 +165,18 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 			return nil
 		case transport.KindParams:
 			global := tensor.Vec(msg.Params)
+			var wireMask []codec.Range
 			if msg.Codec != "" {
 				if downDec == nil || downDec.Name() != msg.Codec {
-					if downDec, err = codec.New(msg.Codec); err != nil {
-						return fmt.Errorf("core: node %d: platform sent %v", nc.ID, err)
+					inner, cerr := codec.New(msg.Codec)
+					if cerr != nil {
+						return fmt.Errorf("core: node %d: platform sent %v", nc.ID, cerr)
 					}
-					upEnc, _ = codec.New(msg.Codec)
+					downDec = codec.NewMasked(inner)
+					innerUp, _ := codec.New(msg.Codec)
+					upEnc = codec.NewMasked(innerUp)
 				}
-				decoded, derr := downDec.Decode(msg.Payload)
+				decoded, ranges, derr := downDec.DecodeMasked(msg.Payload, nil)
 				if derr != nil {
 					// A broken reference chain (missed broadcasts) or wire
 					// corruption. Report it and stay alive: a fault-tolerant
@@ -190,6 +197,7 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 					upEnc.Reset()
 				}
 				global = tensor.Vec(decoded)
+				wireMask = ranges
 			}
 			steps := cfg.T0
 			if msg.LocalSteps > 0 {
@@ -230,7 +238,10 @@ func RunNode(link transport.Link, nc NodeConfig) error {
 				Version: msg.Version,
 			}
 			if msg.Codec != "" {
-				payload, eerr := upEnc.Encode(theta)
+				// The reply mirrors the broadcast's mask: under a masked
+				// downlink only the masked coordinates carry information
+				// (the rest is the platform's own θ), so only they return.
+				payload, eerr := upEnc.EncodeMasked(theta, wireMask)
 				if eerr != nil {
 					_ = nl.send(transport.Msg{
 						Kind:   transport.KindError,

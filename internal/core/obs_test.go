@@ -20,6 +20,7 @@ func statsAsTotals(s CommStats) obs.Totals {
 		Dropped: s.Dropped, Rejoined: s.Rejoined, Rejected: s.Rejected,
 		SkippedRounds: s.SkippedRounds,
 		StaleApplied:  s.StaleApplied, StaleDropped: s.StaleDropped,
+		BudgetFiltered: s.BudgetFiltered,
 	}
 }
 

@@ -46,6 +46,12 @@ type CommStats struct {
 	// StaleDropped counts async-mode updates discarded because their
 	// staleness exceeded MaxStaleness. Always zero on the sync path.
 	StaleDropped int
+	// BudgetFiltered counts sampled nodes excluded from a round because
+	// their modeled energy or time cost exceeded the per-round budget
+	// (Config.EnergyBudget / Config.RoundDeadline). A filtered node stays in
+	// the federation and may participate again — e.g. once the sync mask
+	// shrinks the per-round traffic below its budget.
+	BudgetFiltered int
 }
 
 // add accumulates other into s field by field.
@@ -59,6 +65,7 @@ func (s *CommStats) add(other CommStats) {
 	s.SkippedRounds += other.SkippedRounds
 	s.StaleApplied += other.StaleApplied
 	s.StaleDropped += other.StaleDropped
+	s.BudgetFiltered += other.BudgetFiltered
 }
 
 // RunPlatform executes the platform side of Algorithms 1/2: broadcast the
@@ -114,6 +121,15 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 	defer ls.finish()
 
 	theta := theta0.Clone()
+	if c.SyncMask != nil {
+		if err := c.SyncMask.validateDim(len(theta)); err != nil {
+			return nil, stats, err
+		}
+	}
+	bp, err := newBudgetPolicy(c, weights, 0, len(theta))
+	if err != nil {
+		return nil, stats, err
+	}
 	agg := newAggCore(0, len(links), len(theta))
 	selector := newParticipationSelector(c, len(links), 0)
 	pi := selector.inclusionProb()
@@ -137,6 +153,13 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 	var prevTheta tensor.Vec
 	if ls.obs != nil {
 		prevTheta = make(tensor.Vec, len(theta))
+	}
+	// frozenRef snapshots the pre-aggregation θ when the sync mask is frozen:
+	// the weighted average of bit-identical frozen coordinates is not
+	// bit-identical in floating point, so they are restored after ScaleInto.
+	var frozenRef tensor.Vec
+	if c.SyncMask != nil {
+		frozenRef = make(tensor.Vec, len(theta))
 	}
 
 	var (
@@ -181,6 +204,11 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		}
 
 		selected := selector.selectAlive(round, ls.alive)
+		if bp != nil {
+			selected = bp.filter(round, t0, selected, func(i int, joules float64) {
+				ls.markBudgetFiltered(i, round, joules)
+			})
+		}
 		agg.reset()
 		if err := ls.gatherRound(round, t0, theta, selected, func(i int, u tensor.Vec) {
 			w := weights[i]
@@ -220,7 +248,14 @@ func RunPlatform(links []transport.Link, weights []float64, theta0 tensor.Vec, c
 		if ls.obs != nil {
 			prevTheta.CopyFrom(theta)
 		}
+		frozen := c.SyncMask.frozenAt(round)
+		if frozen {
+			frozenRef.CopyFrom(theta)
+		}
 		sum.ScaleInto(1/denom, theta)
+		if frozen {
+			restoreFrozen(theta, frozenRef, c.SyncMask.Ranges)
+		}
 		// Measure the update dispersion around the new aggregate — the
 		// similarity proxy fed back to the T0 controller.
 		dispersion = agg.dispersion(theta, denom)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/edgeai/fedml/internal/checkpoint"
+	"github.com/edgeai/fedml/internal/codec"
 	"github.com/edgeai/fedml/internal/rng"
 	"github.com/edgeai/fedml/internal/tensor"
 )
@@ -96,6 +97,171 @@ func (s *participationSelector) selectAlive(round int, alive []bool) []int {
 	return selected
 }
 
+// budgetEnabled reports whether an energy budget value constrains anything:
+// zero and +Inf both mean "unlimited".
+func budgetEnabled(b float64) bool {
+	return b > 0 && !math.IsInf(b, 1)
+}
+
+// budgetPolicy is the opt-in budget-aware participation mode: it filters the
+// round's sampled nodes to those whose modeled per-round cost — energy under
+// the EnergyModel, wall-clock under the TimeModel — fits the configured
+// per-node budgets, so the Elgabli-style scheduling question ("who can
+// afford this round?") is answered before any radio turns on. It layers on
+// top of the round-keyed sampler rather than replacing it: with every
+// sampled node affordable (in particular whenever both budgets are
+// disabled), filter returns the selection slice untouched, which is what
+// makes the unbudgeted trajectory bit-identical to plain sampling.
+type budgetPolicy struct {
+	em       EnergyModel
+	budget   float64   // joules per node-round; constrains when budgetEnabled
+	scale    []float64 // per-node energy multipliers by global index; nil = 1
+	tm       TimeModel
+	deadline time.Duration // modeled per-round deadline; 0 = disabled
+	weights  []float64     // aggregation weights by local index
+	base     int
+	mask     *SyncMaskPolicy
+
+	// fullBytes and maskedBytes are the modeled one-way wire sizes of a
+	// parameter message before and after the sync mask engages, priced by
+	// codec.WireSize so compression discounts the budget the same way it
+	// discounts CommStats.Bytes.
+	fullBytes   int
+	maskedBytes int
+}
+
+// newBudgetPolicy builds the round filter, or nil when no budget constrains
+// the run (the bit-identity fast path costs nothing).
+func newBudgetPolicy(c Config, weights []float64, base, dim int) (*budgetPolicy, error) {
+	if !budgetEnabled(c.EnergyBudget) && c.RoundDeadline <= 0 {
+		return nil, nil
+	}
+	if c.EnergyScale != nil && len(c.EnergyScale) < base+len(weights) {
+		return nil, fmt.Errorf("core: energy scale covers %d nodes, need %d", len(c.EnergyScale), base+len(weights))
+	}
+	spec := c.Codec
+	if spec == "" && c.SyncMask != nil {
+		spec = codec.Raw // masked runs ship payloads even without compression
+	}
+	fullBytes, err := codec.WireSize(spec, dim)
+	if err != nil {
+		return nil, fmt.Errorf("core: budget wire model: %w", err)
+	}
+	bp := &budgetPolicy{
+		budget:   c.EnergyBudget,
+		scale:    c.EnergyScale,
+		deadline: c.RoundDeadline,
+		weights:  weights,
+		base:     base,
+		mask:     c.SyncMask,
+
+		fullBytes:   fullBytes,
+		maskedBytes: fullBytes,
+	}
+	if c.Energy != nil {
+		bp.em = *c.Energy
+	}
+	if c.Time != nil {
+		bp.tm = *c.Time
+	}
+	if p := c.SyncMask; p != nil {
+		inner, err := codec.WireSize(spec, codec.MaskLen(p.Ranges))
+		if err != nil {
+			return nil, fmt.Errorf("core: budget wire model: %w", err)
+		}
+		bp.maskedBytes = 9 + 8*len(p.Ranges) + inner
+	}
+	return bp, nil
+}
+
+// roundBytes is the modeled one-way message size for the round, tracking the
+// sync-mask schedule: budgets see the same traffic discount the wire does.
+func (b *budgetPolicy) roundBytes(round int) int {
+	if b.mask.maskFor(round) != nil {
+		return b.maskedBytes
+	}
+	return b.fullBytes
+}
+
+// nodeJoules models node i's energy share of one round: one broadcast down,
+// one update up, t0 local iterations, scaled by the node's EnergyScale entry.
+func (b *budgetPolicy) nodeJoules(i, bytes, t0 int) float64 {
+	s := 1.0
+	if b.scale != nil {
+		s = b.scale[b.base+i]
+	}
+	return s * b.em.RoundJoules(int64(bytes), int64(bytes), t0)
+}
+
+// nodeTime models a node's wall-clock share of one round under the
+// TimeModel, reusing Estimate's saturating arithmetic.
+func (b *budgetPolicy) nodeTime(bytes, t0 int) time.Duration {
+	d, err := b.tm.Estimate(CommStats{Rounds: 1, Messages: 2, Bytes: int64(2 * bytes)}, t0, 0)
+	if err != nil {
+		return 0 // validated at config time; unreachable
+	}
+	return d
+}
+
+// filter applies the budgets to the round's sampled nodes. Affordable nodes
+// pass through; unaffordable ones are handed to reject (which bills
+// CommStats.BudgetFiltered). When every sampled node is affordable the input
+// slice is returned untouched — the bit-identity guarantee. When none is,
+// the single node with the best expected progress per joule (ω_i/cost_i,
+// ties to the lower index) is kept so the round still aggregates something.
+func (b *budgetPolicy) filter(round, t0 int, selected []int, reject func(i int, joules float64)) []int {
+	bytes := b.roundBytes(round)
+	joules := make([]float64, len(selected))
+	afford := make([]bool, len(selected))
+	nAfford := 0
+	for k, i := range selected {
+		joules[k] = b.nodeJoules(i, bytes, t0)
+		ok := true
+		if budgetEnabled(b.budget) && joules[k] > b.budget {
+			ok = false
+		}
+		if ok && b.deadline > 0 && b.nodeTime(bytes, t0) > b.deadline {
+			ok = false
+		}
+		afford[k] = ok
+		if ok {
+			nAfford++
+		}
+	}
+	if nAfford == len(selected) {
+		return selected
+	}
+	if nAfford == 0 && len(selected) > 0 {
+		best := 0
+		for k := 1; k < len(selected); k++ {
+			if progressPerJoule(b.weights[selected[k]], joules[k]) > progressPerJoule(b.weights[selected[best]], joules[best]) {
+				best = k
+			}
+		}
+		afford[best] = true
+		nAfford = 1
+	}
+	keep := make([]int, 0, nAfford)
+	for k, i := range selected {
+		if afford[k] {
+			keep = append(keep, i)
+		} else {
+			reject(i, joules[k])
+		}
+	}
+	return keep
+}
+
+// progressPerJoule ranks backfill candidates: aggregation weight (the
+// expected-progress proxy — Eq. 5 weighs updates by data size) per modeled
+// joule. A zero-cost node ranks infinitely high.
+func progressPerJoule(w, joules float64) float64 {
+	if joules <= 0 {
+		return math.Inf(1)
+	}
+	return w / joules
+}
+
 // resolveProbeTimeout resolves the per-operation suspect re-probe deadline:
 // ProbeTimeout when set, RoundTimeout/4 otherwise, floored at 1ms.
 func resolveProbeTimeout(c Config) time.Duration {
@@ -141,21 +307,22 @@ func foldScalars(lo, hi int, f func(i int) float64) float64 {
 // recovery.
 func saveSnapshot(path string, round, iter, t0 int, dispersion float64, theta tensor.Vec, stats CommStats) error {
 	st := &checkpoint.RunState{
-		Version:       checkpoint.RunStateVersion,
-		Round:         round,
-		Iter:          iter,
-		T0:            t0,
-		Dispersion:    dispersion,
-		Theta:         append([]float64(nil), theta...),
-		Rounds:        stats.Rounds,
-		Messages:      stats.Messages,
-		Bytes:         stats.Bytes,
-		Dropped:       stats.Dropped,
-		Rejoined:      stats.Rejoined,
-		Rejected:      stats.Rejected,
-		SkippedRounds: stats.SkippedRounds,
-		StaleApplied:  stats.StaleApplied,
-		StaleDropped:  stats.StaleDropped,
+		Version:        checkpoint.RunStateVersion,
+		Round:          round,
+		Iter:           iter,
+		T0:             t0,
+		Dispersion:     dispersion,
+		Theta:          append([]float64(nil), theta...),
+		Rounds:         stats.Rounds,
+		Messages:       stats.Messages,
+		Bytes:          stats.Bytes,
+		Dropped:        stats.Dropped,
+		Rejoined:       stats.Rejoined,
+		Rejected:       stats.Rejected,
+		SkippedRounds:  stats.SkippedRounds,
+		StaleApplied:   stats.StaleApplied,
+		StaleDropped:   stats.StaleDropped,
+		BudgetFiltered: stats.BudgetFiltered,
 	}
 	if err := checkpoint.SaveRunState(path, st); err != nil {
 		return fmt.Errorf("core: checkpoint round %d: %w", round, err)
@@ -170,5 +337,6 @@ func statsFromSnapshot(st *checkpoint.RunState) CommStats {
 		Dropped: st.Dropped, Rejoined: st.Rejoined, Rejected: st.Rejected,
 		SkippedRounds: st.SkippedRounds,
 		StaleApplied:  st.StaleApplied, StaleDropped: st.StaleDropped,
+		BudgetFiltered: st.BudgetFiltered,
 	}
 }

@@ -68,6 +68,7 @@ func RunShardAggregator(up transport.Link, links []transport.Link, weights []flo
 	// dimension becomes known.
 	var (
 		agg       *aggCore
+		bp        *budgetPolicy
 		shardMean tensor.Vec
 		iter      int
 		lastRound int
@@ -104,6 +105,15 @@ func RunShardAggregator(up transport.Link, links []transport.Link, weights []flo
 		lastRound = round
 		theta := tensor.Vec(msg.Params)
 		if agg == nil {
+			if c.SyncMask != nil {
+				if err := c.SyncMask.validateDim(len(theta)); err != nil {
+					return fail(round, err)
+				}
+			}
+			var berr error
+			if bp, berr = newBudgetPolicy(c, weights, r.Lo, len(theta)); berr != nil {
+				return fail(round, berr)
+			}
 			agg = newAggCore(r.Lo, r.Hi, len(theta))
 			shardMean = tensor.NewVec(len(theta))
 		}
@@ -121,6 +131,11 @@ func RunShardAggregator(up transport.Link, links []transport.Link, weights []flo
 		}
 
 		selected := selector.selectAlive(round, ls.alive)
+		if bp != nil {
+			selected = bp.filter(round, t0, selected, func(i int, joules float64) {
+				ls.markBudgetFiltered(i, round, joules)
+			})
+		}
 		agg.reset()
 		if err := ls.gatherRound(round, t0, theta, selected, func(i int, u tensor.Vec) {
 			w := weights[i]
@@ -188,29 +203,31 @@ func RunShardAggregator(up transport.Link, links []transport.Link, weights []flo
 // shardStatsOf converts the shard's accounting to its wire form.
 func shardStatsOf(s CommStats) transport.ShardStats {
 	return transport.ShardStats{
-		Rounds:        s.Rounds,
-		Messages:      s.Messages,
-		Bytes:         s.Bytes,
-		Dropped:       s.Dropped,
-		Rejoined:      s.Rejoined,
-		Rejected:      s.Rejected,
-		SkippedRounds: s.SkippedRounds,
-		StaleApplied:  s.StaleApplied,
-		StaleDropped:  s.StaleDropped,
+		Rounds:         s.Rounds,
+		Messages:       s.Messages,
+		Bytes:          s.Bytes,
+		Dropped:        s.Dropped,
+		Rejoined:       s.Rejoined,
+		Rejected:       s.Rejected,
+		SkippedRounds:  s.SkippedRounds,
+		StaleApplied:   s.StaleApplied,
+		StaleDropped:   s.StaleDropped,
+		BudgetFiltered: s.BudgetFiltered,
 	}
 }
 
 // statsOfShard converts a shard's wire-form accounting back to CommStats.
 func statsOfShard(s transport.ShardStats) CommStats {
 	return CommStats{
-		Rounds:        s.Rounds,
-		Messages:      s.Messages,
-		Bytes:         s.Bytes,
-		Dropped:       s.Dropped,
-		Rejoined:      s.Rejoined,
-		Rejected:      s.Rejected,
-		SkippedRounds: s.SkippedRounds,
-		StaleApplied:  s.StaleApplied,
-		StaleDropped:  s.StaleDropped,
+		Rounds:         s.Rounds,
+		Messages:       s.Messages,
+		Bytes:          s.Bytes,
+		Dropped:        s.Dropped,
+		Rejoined:       s.Rejoined,
+		Rejected:       s.Rejected,
+		SkippedRounds:  s.SkippedRounds,
+		StaleApplied:   s.StaleApplied,
+		StaleDropped:   s.StaleDropped,
+		BudgetFiltered: s.BudgetFiltered,
 	}
 }

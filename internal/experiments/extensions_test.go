@@ -4,6 +4,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/edgeai/fedml/internal/codec"
+	"github.com/edgeai/fedml/internal/core"
 )
 
 func TestThm3ShapeAndRender(t *testing.T) {
@@ -119,6 +122,53 @@ func TestExtTimeUnreachedTarget(t *testing.T) {
 	}
 }
 
+// TestExtTimeCodecPricing pins the codec-aware message pricing: a q8 run
+// moves ~1 B/param on the wire, so the modelled transfer time must be priced
+// at the codec's steady-state encoded size. The expected times are recomputed
+// from codec.WireSize; the old 8 B/param formula overprices q8 transfers
+// ~8× on the bandwidth-bound lora-like profile and fails this test.
+func TestExtTimeCodecPricing(t *testing.T) {
+	cfg := DefaultExtTimeConfig(ScaleCI)
+	cfg.T0s = []int{5}
+	cfg.TargetG = 1.0 // easy target so the run crosses it
+	cfg.Codec = "q8"
+	res, err := RunExtTime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := syntheticFederation(0.5, 0.5, cfg.Scale, 5, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := softmaxModel(fed)
+	q8Bytes, err := codec.WireSize("q8", m.NumParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The q8 contract is ~1 B/param: at least a 4× discount on 8 B/param.
+	if 8*m.NumParams() < 4*q8Bytes {
+		t.Fatalf("q8 wire size %d B for %d params — expected ~1 B/param", q8Bytes, m.NumParams())
+	}
+	profiles := core.EdgeProfiles(cfg.LocalStepTime)
+	checked := 0
+	for _, c := range res.Cells {
+		if c.ItersToTarget == 0 {
+			continue
+		}
+		want, err := profiles[c.Profile].Estimate(core.CommStats{Rounds: c.RoundsToTarget}, c.ItersToTarget, q8Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Time != want {
+			t.Errorf("%s/T0=%d priced at %v, want %v (q8 wire size %d B)", c.Profile, c.T0, c.Time, want, q8Bytes)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no cell reached the target; pricing unexercised")
+	}
+}
+
 func TestExtTimeRejectsBadT0(t *testing.T) {
 	cfg := DefaultExtTimeConfig(ScaleCI)
 	cfg.T0s = []int{7} // 200 % 7 != 0
@@ -172,10 +222,71 @@ func TestExtensionExperimentsRegistered(t *testing.T) {
 	for _, e := range All() {
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"thm3", "ext-time", "ext-baselines"} {
+	for _, want := range []string{"thm3", "ext-time", "ext-baselines", "ext-energy"} {
 		if !ids[want] {
 			t.Errorf("registry missing %s", want)
 		}
+	}
+}
+
+// TestExtEnergyAcceptance pins the experiment's headline claims under the
+// lora-like radio: head-only sync lands within 2 accuracy points of full
+// sync while spending at least 3× fewer modeled joules, and the budgeted arm
+// actually exercises the budget filter (the hungry node sits out the full-
+// payload warmup rounds) without losing the adapted accuracy.
+func TestExtEnergyAcceptance(t *testing.T) {
+	res, err := RunExtEnergy(DefaultExtEnergyConfig(ScaleCI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 3 || res.Arms[0] != "full-sync" || res.Arms[1] != "head-sync" || res.Arms[2] != "head+budget" {
+		t.Fatalf("arms = %v", res.Arms)
+	}
+	for i, name := range res.Arms {
+		if len(res.AccVsJoules[i].Points) == 0 || len(res.AccVsKiB[i].Points) == 0 {
+			t.Fatalf("%s: empty curve", name)
+		}
+		if res.TotalJoules[i] <= 0 || res.TotalKiB[i] <= 0 {
+			t.Errorf("%s: non-positive totals J=%v KiB=%v", name, res.TotalJoules[i], res.TotalKiB[i])
+		}
+	}
+	full, head, budget := 0, 1, 2
+	if gap := res.FinalAcc[full] - res.FinalAcc[head]; gap > 0.02 {
+		t.Errorf("head-sync accuracy %.4f more than 2 points below full-sync %.4f",
+			res.FinalAcc[head], res.FinalAcc[full])
+	}
+	if res.TotalJoules[head] > res.TotalJoules[full]/3 {
+		t.Errorf("head-sync spent %.0f J, want <= 1/3 of full-sync %.0f J",
+			res.TotalJoules[head], res.TotalJoules[full])
+	}
+	if res.BudgetFiltered[budget] == 0 {
+		t.Error("budgeted arm never filtered the hungry node")
+	}
+	if res.BudgetFiltered[full] != 0 || res.BudgetFiltered[head] != 0 {
+		t.Errorf("unbudgeted arms report filtering: %v", res.BudgetFiltered)
+	}
+	// 5-class task: chance is 0.2; the budgeted run must still adapt well.
+	if res.FinalAcc[budget] < 0.5 {
+		t.Errorf("budgeted arm accuracy %.4f collapsed", res.FinalAcc[budget])
+	}
+	// Masked arms must also move fewer wire bytes (the ext-codec axis).
+	if res.TotalKiB[head] >= res.TotalKiB[full] {
+		t.Errorf("head-sync moved %.0f KiB, full-sync %.0f KiB", res.TotalKiB[head], res.TotalKiB[full])
+	}
+	out := res.Render()
+	for _, want := range []string{"lora-like", "J ratio vs full", "head+budget", "budget-filtered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestExtEnergyRejectsUnknownProfile covers the config error path.
+func TestExtEnergyRejectsUnknownProfile(t *testing.T) {
+	cfg := DefaultExtEnergyConfig(ScaleCI)
+	cfg.Profile = "5g"
+	if _, err := RunExtEnergy(cfg); err == nil {
+		t.Error("unknown energy profile accepted")
 	}
 }
 

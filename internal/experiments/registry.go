@@ -151,6 +151,15 @@ func All() []Experiment {
 			},
 		},
 		{
+			ID:          "ext-energy",
+			Description: "Extension: accuracy vs modeled joules under partial sync and energy budgets",
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultExtEnergyConfig(s)
+				cfg.Workers = workers
+				return RunExtEnergy(cfg)
+			},
+		},
+		{
 			ID:          "ext-async",
 			Description: "Extension: buffered-async vs sync round throughput under latency skew",
 			Run: func(s Scale, workers int) (Renderable, error) {

@@ -5,7 +5,8 @@ import "expvar"
 // ExpvarSink mirrors the CommStats counters into an expvar.Map, so a live
 // training process serves them at /debug/vars next to net/http/pprof (the
 // cmd/fedml -pprof endpoint). Map keys: rounds, messages, bytes, dropped,
-// rejoined, rejected, skipped_rounds, stale_applied, stale_dropped.
+// rejoined, rejected, skipped_rounds, stale_applied, stale_dropped,
+// budget_filtered.
 type ExpvarSink struct {
 	m *expvar.Map
 }
@@ -45,5 +46,7 @@ func (s *ExpvarSink) Observe(e Event) {
 		s.m.Add("stale_applied", 1)
 	case TypeStaleDrop:
 		s.m.Add("stale_dropped", 1)
+	case TypeBudgetFilter:
+		s.m.Add("budget_filtered", 1)
 	}
 }

@@ -24,6 +24,7 @@ func TestJSONLGoldenSchema(t *testing.T) {
 		{Type: TypeUpdate, Round: 1, Node: 0, Bytes: 80},
 		{Type: TypeStaleApply, Round: 1, Node: 0, Value: 2},
 		{Type: TypeStaleDrop, Round: 1, Node: 2, Value: 5},
+		{Type: TypeBudgetFilter, Round: 1, Node: 2, Value: 0.125},
 		{Type: TypeDrop, Round: 1, Node: 1, Cause: "recv update: timeout"},
 		{Type: TypeReject, Round: 1, Node: 2, Cause: "non-finite update"},
 		{Type: TypeRoundEnd, Round: 1, Iter: 5, T0: 5, Alive: 1,
@@ -35,13 +36,13 @@ func TestJSONLGoldenSchema(t *testing.T) {
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	const golden = `{"schema":2,"round":1,"iter":5,"t0":5,"alive":1,"dur_ms":2,` +
+	const golden = `{"schema":3,"round":1,"iter":5,"t0":5,"alive":1,"dur_ms":2,` +
 		`"msgs":3,"bytes":240,"update_norm":0.5,"dispersion":0.25,"loss":2.5,` +
 		`"dropped":[{"node":1,"cause":"recv update: timeout"}],` +
 		`"rejected":[{"node":2,"cause":"non-finite update"}],` +
-		`"stale_applied":1,"stale_dropped":1,` +
+		`"stale_applied":1,"stale_dropped":1,"budget_filtered":1,` +
 		`"nodes":[{"node":0,"compute_ms":1.5}],` +
-		`"cum":{"rounds":1,"messages":3,"bytes":240,"dropped":1,"rejoined":0,"rejected":1,"skipped_rounds":0,"stale_applied":1,"stale_dropped":1}}`
+		`"cum":{"rounds":1,"messages":3,"bytes":240,"dropped":1,"rejoined":0,"rejected":1,"skipped_rounds":0,"stale_applied":1,"stale_dropped":1,"budget_filtered":1}}`
 	got := strings.TrimRight(buf.String(), "\n")
 	if got != golden {
 		t.Errorf("schema drift — bump SchemaVersion if intentional.\n got: %s\nwant: %s", got, golden)

@@ -77,6 +77,16 @@ const (
 	// staleness (Value) exceeded Config.MaxStaleness. One per
 	// CommStats.StaleDropped.
 	TypeStaleDrop
+	// TypeBudgetFilter records a sampled node excluded from a round because
+	// its modeled energy/time cost (Value, joules) exceeded the per-round
+	// budget. One per CommStats.BudgetFiltered.
+	TypeBudgetFilter
+	// TypeMaskSync records a sync-mask decision on one downlink: the link
+	// transitioned between full and masked parameter payloads (Cause names
+	// the new state, Value is the masked coordinate count, 0 for full). A
+	// pure decision event with no counter — counter/event parity only
+	// requires every counter increment to have an event, not the converse.
+	TypeMaskSync
 )
 
 // String implements fmt.Stringer.
@@ -110,6 +120,10 @@ func (t Type) String() string {
 		return "stale_apply"
 	case TypeStaleDrop:
 		return "stale_drop"
+	case TypeBudgetFilter:
+		return "budget_filter"
+	case TypeMaskSync:
+		return "mask_sync"
 	default:
 		return fmt.Sprintf("Type(%d)", int(t))
 	}
@@ -196,15 +210,16 @@ func Multi(observers ...RoundObserver) RoundObserver {
 // parity invariant). It lives here rather than reusing core.CommStats so
 // obs stays dependency-free.
 type Totals struct {
-	Rounds        int   `json:"rounds"`
-	Messages      int   `json:"messages"`
-	Bytes         int64 `json:"bytes"`
-	Dropped       int   `json:"dropped"`
-	Rejoined      int   `json:"rejoined"`
-	Rejected      int   `json:"rejected"`
-	SkippedRounds int   `json:"skipped_rounds"`
-	StaleApplied  int   `json:"stale_applied"`
-	StaleDropped  int   `json:"stale_dropped"`
+	Rounds         int   `json:"rounds"`
+	Messages       int   `json:"messages"`
+	Bytes          int64 `json:"bytes"`
+	Dropped        int   `json:"dropped"`
+	Rejoined       int   `json:"rejoined"`
+	Rejected       int   `json:"rejected"`
+	SkippedRounds  int   `json:"skipped_rounds"`
+	StaleApplied   int   `json:"stale_applied"`
+	StaleDropped   int   `json:"stale_dropped"`
+	BudgetFiltered int   `json:"budget_filtered"`
 }
 
 // observe folds one event into the totals.
@@ -227,5 +242,7 @@ func (t *Totals) observe(e Event) {
 		t.StaleApplied++
 	case TypeStaleDrop:
 		t.StaleDropped++
+	case TypeBudgetFilter:
+		t.BudgetFiltered++
 	}
 }

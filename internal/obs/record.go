@@ -6,8 +6,8 @@ import "time"
 // whenever a field changes meaning or shape; the golden-schema test pins the
 // exact serialized form so drift cannot ship silently. v2 added the async
 // staleness accounting (stale_applied/stale_dropped, per-round and
-// cumulative).
-const SchemaVersion = 2
+// cumulative); v3 added the budget-filter accounting (budget_filtered).
+const SchemaVersion = 3
 
 // NodeCause names a node and why it was dropped or its update rejected.
 type NodeCause struct {
@@ -63,6 +63,9 @@ type RoundRecord struct {
 	// on the sync path.
 	StaleApplied int `json:"stale_applied,omitempty"`
 	StaleDropped int `json:"stale_dropped,omitempty"`
+	// BudgetFiltered is this round's count of sampled nodes excluded by the
+	// energy/deadline budget.
+	BudgetFiltered int `json:"budget_filtered,omitempty"`
 	// Nodes carries per-node compute timings, in arrival order.
 	Nodes []NodeTiming `json:"nodes,omitempty"`
 	// Cum is the cumulative totals after this round.
@@ -129,6 +132,8 @@ func (b *builder) observe(e Event) *RoundRecord {
 		r.StaleApplied++
 	case TypeStaleDrop:
 		r.StaleDropped++
+	case TypeBudgetFilter:
+		r.BudgetFiltered++
 	}
 	r.Cum = b.cum
 	return done

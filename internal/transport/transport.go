@@ -92,15 +92,16 @@ type Msg struct {
 // Partial, so the shard wire protocol does not depend on internal/core. The
 // semantics match core.CommStats field for field.
 type ShardStats struct {
-	Rounds        int   `json:"rounds"`
-	Messages      int   `json:"messages"`
-	Bytes         int64 `json:"bytes"`
-	Dropped       int   `json:"dropped"`
-	Rejoined      int   `json:"rejoined"`
-	Rejected      int   `json:"rejected"`
-	SkippedRounds int   `json:"skipped_rounds"`
-	StaleApplied  int   `json:"stale_applied"`
-	StaleDropped  int   `json:"stale_dropped"`
+	Rounds         int   `json:"rounds"`
+	Messages       int   `json:"messages"`
+	Bytes          int64 `json:"bytes"`
+	Dropped        int   `json:"dropped"`
+	Rejoined       int   `json:"rejoined"`
+	Rejected       int   `json:"rejected"`
+	SkippedRounds  int   `json:"skipped_rounds"`
+	StaleApplied   int   `json:"stale_applied"`
+	StaleDropped   int   `json:"stale_dropped"`
+	BudgetFiltered int   `json:"budget_filtered,omitempty"`
 }
 
 // Partial is the metadata block of a shard aggregator's round result. The
