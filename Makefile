@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short check chaos-smoke obs-smoke codec-smoke shard-smoke async-smoke energy-smoke profile bench bench-json bench-check bench-paper bench-par bench-scale bench-async bench-energy fuzz fuzz-smoke examples clean
+.PHONY: all build vet test test-race test-short check chaos-smoke obs-smoke codec-smoke shard-smoke async-smoke energy-smoke workloads-smoke profile bench bench-json bench-check bench-paper bench-par bench-scale bench-async bench-energy bench-workloads fuzz fuzz-smoke examples clean
 
 # Scratch directory for generated artifacts (metrics sinks, bench output,
 # profiles); removed by `make clean`, never committed.
@@ -113,6 +113,23 @@ energy-smoke:
 		-metrics-out $(BUILD_DIR)/energy_smoke.jsonl
 	$(GO) run ./cmd/obscheck $(BUILD_DIR)/energy_smoke.jsonl
 
+# New-workloads smoke, in two legs. Leg 1: the federated recommendation
+# scenario (per-user rating tasks) trained through q8 update compression.
+# Leg 2: the TinyML fault-classification scenario (per-device class skew)
+# under a head-only sync mask. Both write per-round metrics JSONL and
+# obscheck proves the streams reconstruct the final totals exactly — the
+# new generators compose with the platform knobs like any other workload.
+workloads-smoke:
+	@mkdir -p $(BUILD_DIR)
+	$(GO) run ./cmd/fedml train -dataset rec -nodes 8 -k 3 -t 20 -t0 5 \
+		-seed 7 -codec q8 \
+		-metrics-out $(BUILD_DIR)/workloads_rec_smoke.jsonl
+	$(GO) run ./cmd/obscheck $(BUILD_DIR)/workloads_rec_smoke.jsonl
+	$(GO) run ./cmd/fedml train -dataset fault -nodes 8 -k 3 -t 20 -t0 5 \
+		-seed 7 -sync-mask head:2 \
+		-metrics-out $(BUILD_DIR)/workloads_fault_smoke.jsonl
+	$(GO) run ./cmd/obscheck $(BUILD_DIR)/workloads_fault_smoke.jsonl
+
 # CPU + heap profiles of the hot end-to-end benchmark (fig2a). Inspect with
 # `go tool pprof cpu.pprof`; live runs expose the same data via -pprof.
 profile:
@@ -135,12 +152,16 @@ bench-json:
 # CI regression gate: re-measure the bench-json suite into $(BUILD_DIR) and
 # fail when allocs/op or B/op grew more than 10% over the committed
 # BENCH_fedml.json (ns/op is reported, not gated — CI wall time is noise).
+# Also checks the committed experiment snapshot still carries the workload
+# personalization matrices (presence + schema; values are gated by the bench
+# that wrote them).
 bench-check:
 	@mkdir -p $(BUILD_DIR)
 	$(GO) test -run '^$$' \
 		-bench 'Fig2aNodeSimilarity|MetaStep|FastAdaptation|GradInto|GradStepInto' \
 		-benchmem . | tee $(BUILD_DIR)/bench_output.txt | $(GO) run ./cmd/benchjson -out $(BUILD_DIR)/bench_current.json
 	$(GO) run ./cmd/benchjson compare BENCH_fedml.json $(BUILD_DIR)/bench_current.json
+	$(GO) run ./cmd/benchjson expcheck BENCH_experiments.json ext_rec ext_fault
 
 # Regenerate every table and figure at the paper's scale.
 bench-paper:
@@ -171,6 +192,14 @@ bench-async:
 # points below full sync or saves less than 3× the joules.
 bench-energy:
 	$(GO) run ./cmd/fedml-bench -energy-bench -out BENCH_experiments.json
+
+# Workload snapshot: run ext-rec and ext-fault (federated recommendation and
+# TinyML fault classification with the FedML/FedAvg/FedProx/RepShare
+# personalization matrix) and merge the results into BENCH_experiments.json
+# under "ext_rec" and "ext_fault". Fails if FedML's adapted accuracy falls
+# below the FedAvg or FedProx global baseline on either workload.
+bench-workloads:
+	$(GO) run ./cmd/fedml-bench -workloads-bench -out BENCH_experiments.json
 
 # Short fuzzing pass over the parsers and the update codecs.
 fuzz:

@@ -9,6 +9,7 @@
 //	fedml-bench -scale-bench -paper   # measure fleet-scale sharded throughput
 //	fedml-bench -async-bench          # measure async vs sync rounds/sec under latency skew
 //	fedml-bench -energy-bench         # measure accuracy-per-joule of partial vs full sync
+//	fedml-bench -workloads-bench      # run the rec/fault personalization matrices and check the gap
 //
 // Each experiment prints the same rows/series the paper reports; the
 // per-experiment index lives in DESIGN.md §4.
@@ -44,6 +45,7 @@ func run(args []string) error {
 		scaleBench  = fs.Bool("scale-bench", false, "benchmark fleet-scale two-tier aggregation (ext-scale) and report rounds/sec")
 		asyncBench  = fs.Bool("async-bench", false, "benchmark buffered-async vs sync round throughput under latency skew (ext-async)")
 		energyBench = fs.Bool("energy-bench", false, "measure accuracy-per-joule of head-only partial sync vs full sync (ext-energy) and check the savings floor")
+		workBench   = fs.Bool("workloads-bench", false, "run the ext-rec and ext-fault personalization matrices and check FedML's adapted accuracy beats the global baselines")
 		out         = fs.String("out", "", "with -par-bench, -scale-bench, -async-bench, or -energy-bench: merge the measurement into this keyed JSON file")
 		codecs      = fs.String("codec", "", "with -exp ext-codec: comma-separated update codecs to compare, first is the baseline (default raw,f16,q8,topk)")
 	)
@@ -75,6 +77,9 @@ func run(args []string) error {
 	}
 	if *energyBench {
 		return runEnergyBench(scale, *workers, *out)
+	}
+	if *workBench {
+		return runWorkloadsBench(scale, *workers, *out)
 	}
 
 	if *codecs != "" {
@@ -181,7 +186,7 @@ type scaleBenchReport struct {
 // benchKeys are the families BENCH_experiments.json may hold; anything else
 // found in the file (e.g. the legacy flat par-bench shape) is dropped on the
 // next write.
-var benchKeys = []string{"par_bench", "ext_scale", "async_skew", "ext_energy"}
+var benchKeys = []string{"par_bench", "ext_scale", "async_skew", "ext_energy", "ext_rec", "ext_fault"}
 
 // mergeBenchEntry read-modify-writes one family entry into the keyed
 // measurement file, preserving the other families' entries.
@@ -373,6 +378,83 @@ func runEnergyBench(scale experiments.Scale, workers int, outPath string) error 
 		}
 		if err := mergeBenchEntry(outPath, "ext_energy", rep); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// workloadBenchArm is one algorithm's row in a workload's personalization
+// matrix entry.
+type workloadBenchArm struct {
+	Arm        string  `json:"arm"`
+	GlobalAcc  float64 `json:"global_acc"`
+	AdaptedAcc float64 `json:"adapted_acc"`
+	Gap        float64 `json:"gap"`
+}
+
+// workloadBenchPoint is one point of the fedml arm's accuracy/traffic
+// trajectory.
+type workloadBenchPoint struct {
+	KiB int     `json:"kib"`
+	Acc float64 `json:"acc"`
+}
+
+// workloadBenchReport is the JSON shape stored under "ext_rec"/"ext_fault".
+type workloadBenchReport struct {
+	Scale      string               `json:"scale"`
+	Workload   string               `json:"workload"`
+	AdaptSteps int                  `json:"adapt_steps"`
+	TotalKiB   float64              `json:"total_kib"`
+	Trajectory []workloadBenchPoint `json:"trajectory"`
+	Arms       []workloadBenchArm   `json:"arms"`
+}
+
+// runWorkloadsBench runs the ext-rec and ext-fault comparison matrices and
+// enforces the personalization claim as a gate on both: FedML's adapted
+// accuracy must be at least the global accuracy of FedAvg and FedProx.
+func runWorkloadsBench(scale experiments.Scale, workers int, outPath string) error {
+	for _, workload := range []string{"rec", "fault"} {
+		cfg := experiments.DefaultExtWorkloadConfig(workload, scale)
+		cfg.Workers = workers
+		res, err := experiments.RunExtWorkload(cfg)
+		if err != nil {
+			return fmt.Errorf("workloads-bench %s: %w", workload, err)
+		}
+		fmt.Print(res.Render())
+		pers := map[string]float64{}
+		for i, name := range res.Arms {
+			pers[name+"/global"] = res.Pers[i].Global
+			pers[name+"/adapted"] = res.Pers[i].Adapted
+		}
+		for _, baseline := range []string{"fedavg", "fedprox"} {
+			if pers["fedml/adapted"] < pers[baseline+"/global"] {
+				return fmt.Errorf("workloads-bench %s: FedML adapted %.4f below %s global %.4f",
+					workload, pers["fedml/adapted"], baseline, pers[baseline+"/global"])
+			}
+		}
+		if outPath != "" {
+			rep := workloadBenchReport{
+				Scale:      scale.String(),
+				Workload:   workload,
+				AdaptSteps: cfg.AdaptSteps,
+				TotalKiB:   res.TotalKiB,
+			}
+			if res.AccVsKiB != nil {
+				for _, p := range res.AccVsKiB.Points {
+					rep.Trajectory = append(rep.Trajectory, workloadBenchPoint{KiB: p.Iter, Acc: p.Value})
+				}
+			}
+			for i, name := range res.Arms {
+				rep.Arms = append(rep.Arms, workloadBenchArm{
+					Arm:        name,
+					GlobalAcc:  res.Pers[i].Global,
+					AdaptedAcc: res.Pers[i].Adapted,
+					Gap:        res.Pers[i].Gap(),
+				})
+			}
+			if err := mergeBenchEntry(outPath, "ext_"+workload, rep); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -95,6 +97,57 @@ func TestWorkerSweep(t *testing.T) {
 				t.Errorf("workerSweep(%d) = %v, want %v", c.max, got, c.want)
 				break
 			}
+		}
+	}
+}
+
+// TestWorkloadsBenchWritesKeys runs the rec/fault matrices at CI scale,
+// checks the personalization gate passes, and verifies both entries land in
+// the keyed measurement file with the schema expcheck validates.
+func TestWorkloadsBenchWritesKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight training runs are slow")
+	}
+	out := filepath.Join(t.TempDir(), "exp.json")
+	if err := silenceStdout(t, func() error {
+		return run([]string{"-workloads-bench", "-out", out})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]struct {
+		Workload   string `json:"workload"`
+		Trajectory []struct {
+			KiB int     `json:"kib"`
+			Acc float64 `json:"acc"`
+		} `json:"trajectory"`
+		Arms []struct {
+			Arm        string   `json:"arm"`
+			GlobalAcc  *float64 `json:"global_acc"`
+			AdaptedAcc *float64 `json:"adapted_acc"`
+		} `json:"arms"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"ext_rec", "ext_fault"} {
+		entry, ok := doc[key]
+		if !ok {
+			t.Fatalf("%s missing from %s", key, out)
+		}
+		if len(entry.Arms) != 4 {
+			t.Errorf("%s: %d arms, want 4", key, len(entry.Arms))
+		}
+		for _, a := range entry.Arms {
+			if a.Arm == "" || a.GlobalAcc == nil || a.AdaptedAcc == nil {
+				t.Errorf("%s: incomplete arm row %+v", key, a)
+			}
+		}
+		if len(entry.Trajectory) == 0 {
+			t.Errorf("%s: missing accuracy/traffic trajectory", key)
 		}
 	}
 }

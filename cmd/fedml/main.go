@@ -96,7 +96,7 @@ type commonFlags struct {
 
 func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 	c := &commonFlags{}
-	fs.StringVar(&c.dataset, "dataset", "synthetic", "workload: synthetic, mnist, sent140 or csv")
+	fs.StringVar(&c.dataset, "dataset", "synthetic", "workload: synthetic, mnist, sent140, rec, fault or csv")
 	fs.IntVar(&c.nodes, "nodes", 20, "number of edge nodes in the federation")
 	fs.IntVar(&c.k, "k", 5, "few-shot training-set size K per node")
 	fs.Uint64Var(&c.seed, "seed", 1, "random seed (all sides must agree)")
@@ -181,6 +181,36 @@ func (c *commonFlags) buildWorkload() (*data.Federation, nn.Model, error) {
 			return nil, nil, err
 		}
 		return fed, m, nil
+	case "rec":
+		cfg := data.DefaultRecommendConfig()
+		cfg.Users = c.nodes
+		cfg.K = c.k
+		cfg.Seed = c.seed
+		fed, err := data.GenerateRecommend(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		// An MLP (not all-head softmax) so sync-mask and repshare-style
+		// partial policies have a representation block to act on.
+		m, err := nn.NewMLP(nn.MLPConfig{Dims: []int{fed.Dim, 16, fed.NumClasses}, L2: 0.01})
+		if err != nil {
+			return nil, nil, err
+		}
+		return fed, m, nil
+	case "fault":
+		cfg := data.DefaultFaultConfig()
+		cfg.Devices = c.nodes
+		cfg.K = c.k
+		cfg.Seed = c.seed
+		fed, err := data.GenerateFault(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := nn.NewMLP(nn.MLPConfig{Dims: []int{fed.Dim, 16, fed.NumClasses}, L2: 0.01})
+		if err != nil {
+			return nil, nil, err
+		}
+		return fed, m, nil
 	case "csv":
 		if c.csvPath == "" || c.csvDim <= 0 {
 			return nil, nil, fmt.Errorf("-dataset csv requires -csv <path> and -csv-dim <n>")
@@ -201,7 +231,7 @@ func (c *commonFlags) buildWorkload() (*data.Federation, nn.Model, error) {
 		}
 		return fed, &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses, L2: 0.01}, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown dataset %q (want synthetic, mnist, sent140 or csv)", c.dataset)
+		return nil, nil, fmt.Errorf("unknown dataset %q (want synthetic, mnist, sent140, rec, fault or csv)", c.dataset)
 	}
 }
 

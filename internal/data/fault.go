@@ -1,0 +1,221 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// TinyML fault-classification workload (Fed-Meta-Align's heterogeneous-device
+// setting): each node is one sensor-equipped edge device classifying windows
+// of its own signal into fault modes. Two axes of heterogeneity make a
+// single global model insufficient and one adaptation step sufficient:
+//
+//   - Calibration drift: every device renders the SAME fault signatures
+//     through its own amplitude gain, baseline offset, and phase — fixed
+//     per device, so a handful of local windows reveal them.
+//   - Class skew: a device observes only FaultsPerDevice of the fault modes
+//     (plus "normal"), mirroring how real deployments see the failure modes
+//     of their own installation, not the full taxonomy.
+//
+// A sample is a window of FaultWindow sensor readings: a baseline sinusoid
+// (the healthy signal) overlaid with one of the fault signatures, plus
+// per-device Gaussian sensor noise whose level itself varies across devices.
+
+// FaultWindow is the number of sensor readings per classification window.
+const FaultWindow = 24
+
+// Fault-mode classes. Class 0 is the healthy signal; classes 1..5 are the
+// fault signatures injected on top of it.
+const (
+	FaultNormal = iota // healthy baseline
+	FaultBias          // constant offset shift
+	FaultDrift         // linear ramp across the window
+	FaultSpike         // short large-amplitude transient
+	FaultStuck         // reading frozen at a constant from a random onset
+	FaultNoise         // variance burst (noisy electronics)
+	NumFaultClasses
+)
+
+// FaultConfig parameterizes the fault-classification generator.
+type FaultConfig struct {
+	// Devices is the number of nodes (one node per edge device).
+	Devices int
+	// FaultsPerDevice is the class-skew level: how many of the 5 fault
+	// modes each device observes (plus the normal class).
+	FaultsPerDevice int
+	// K is the training-split size.
+	K int
+	// MeanSamples/StdSamples parameterize the power-law node sizes.
+	MeanSamples, StdSamples float64
+	// NoiseStdMin/NoiseStdMax bound the per-device sensor-noise level,
+	// drawn uniformly per device (noise heterogeneity).
+	NoiseStdMin, NoiseStdMax float64
+	// SourceFraction is the fraction of meta-training devices.
+	SourceFraction float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultFaultConfig returns the reference configuration: 60 devices, each
+// seeing 2 of the 5 fault modes.
+func DefaultFaultConfig() FaultConfig {
+	return FaultConfig{
+		Devices:         60,
+		FaultsPerDevice: 2,
+		K:               5,
+		MeanSamples:     40,
+		StdSamples:      15,
+		NoiseStdMin:     0.05,
+		NoiseStdMax:     0.25,
+		SourceFraction:  0.8,
+		Seed:            13,
+	}
+}
+
+// GenerateFault builds the fault-classification Federation.
+func GenerateFault(cfg FaultConfig) (*Federation, error) {
+	if err := validateFault(cfg); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	sizes := PowerLawSizes(root.Split(0), cfg.Devices, cfg.MeanSamples, cfg.StdSamples, cfg.K+cfg.FaultsPerDevice+2)
+
+	fed := &Federation{
+		Name:       "Fault",
+		Dim:        FaultWindow,
+		NumClasses: NumFaultClasses,
+	}
+	numSources := int(math.Round(cfg.SourceFraction * float64(cfg.Devices)))
+	if numSources <= 0 || numSources >= cfg.Devices {
+		return nil, fmt.Errorf("data: SourceFraction %v leaves no sources or no targets among %d devices", cfg.SourceFraction, cfg.Devices)
+	}
+
+	for i := 0; i < cfg.Devices; i++ {
+		devRng := root.Split(uint64(i) + 1)
+		dev := deviceProfile(devRng, cfg)
+		classes := deviceFaults(devRng, cfg.FaultsPerDevice)
+		samples := make([]Sample, sizes[i])
+		for s := range samples {
+			c := classes[devRng.IntN(len(classes))]
+			samples[s] = Sample{X: renderFaultWindow(devRng, dev, c), Y: c}
+		}
+		nd, err := SplitNode(devRng, samples, cfg.K)
+		if err != nil {
+			return nil, fmt.Errorf("split device %d: %w", i, err)
+		}
+		if i < numSources {
+			fed.Sources = append(fed.Sources, nd)
+		} else {
+			fed.Targets = append(fed.Targets, nd)
+		}
+	}
+	return fed, nil
+}
+
+// faultProfile is one device's fixed sensor calibration: the heterogeneity
+// that personalization recovers.
+type faultProfile struct {
+	amp, freq, offset, phase, noiseStd float64
+}
+
+func deviceProfile(r *rng.Rand, cfg FaultConfig) faultProfile {
+	return faultProfile{
+		amp:      0.6 + 0.8*r.Float64(),     // [0.6, 1.4]
+		freq:     1.5 + 1.5*r.Float64(),     // [1.5, 3.0] cycles/window
+		offset:   r.NormMeanStd(0, 0.4),     // baseline shift
+		phase:    2 * math.Pi * r.Float64(), // sampling alignment
+		noiseStd: cfg.NoiseStdMin + (cfg.NoiseStdMax-cfg.NoiseStdMin)*r.Float64(),
+	}
+}
+
+// deviceFaults returns the device's observable classes: FaultNormal plus n
+// fault modes chosen without replacement.
+func deviceFaults(r *rng.Rand, n int) []int {
+	p := r.Perm(NumFaultClasses - 1) // permutation of the 5 fault modes
+	classes := make([]int, 0, n+1)
+	classes = append(classes, FaultNormal)
+	for _, f := range p[:n] {
+		classes = append(classes, f+1)
+	}
+	return classes
+}
+
+// renderFaultWindow synthesizes one sensor window: the device's calibrated
+// healthy sinusoid, the fault signature for class c, and sensor noise.
+func renderFaultWindow(r *rng.Rand, dev faultProfile, c int) tensor.Vec {
+	w := tensor.NewVec(FaultWindow)
+	for t := range w {
+		x := float64(t) / FaultWindow
+		w[t] = dev.offset + dev.amp*math.Sin(2*math.Pi*dev.freq*x+dev.phase)
+	}
+	switch c {
+	case FaultNormal:
+		// healthy signal only
+	case FaultBias:
+		shift := 0.8 + 0.4*r.Float64()
+		if r.Float64() < 0.5 {
+			shift = -shift
+		}
+		for t := range w {
+			w[t] += shift
+		}
+	case FaultDrift:
+		slope := 1.2 + 0.8*r.Float64()
+		if r.Float64() < 0.5 {
+			slope = -slope
+		}
+		for t := range w {
+			w[t] += slope * float64(t) / FaultWindow
+		}
+	case FaultSpike:
+		at := r.IntN(FaultWindow)
+		mag := 2 + 1.5*r.Float64()
+		if r.Float64() < 0.5 {
+			mag = -mag
+		}
+		w[at] += mag
+		if at+1 < FaultWindow {
+			w[at+1] += mag / 2
+		}
+	case FaultStuck:
+		onset := 2 + r.IntN(FaultWindow/2)
+		frozen := w[onset]
+		for t := onset; t < FaultWindow; t++ {
+			w[t] = frozen
+		}
+	case FaultNoise:
+		burst := 3 * dev.amp
+		for t := range w {
+			w[t] += r.NormMeanStd(0, burst)
+		}
+	default:
+		panic(fmt.Sprintf("data: renderFaultWindow with unknown class %d", c))
+	}
+	if dev.noiseStd > 0 {
+		for t := range w {
+			w[t] += r.NormMeanStd(0, dev.noiseStd)
+		}
+	}
+	return w
+}
+
+func validateFault(cfg FaultConfig) error {
+	switch {
+	case cfg.Devices < 2:
+		return fmt.Errorf("data: need at least 2 devices, got %d", cfg.Devices)
+	case cfg.FaultsPerDevice < 1 || cfg.FaultsPerDevice > NumFaultClasses-1:
+		return fmt.Errorf("data: FaultsPerDevice must be in [1,%d], got %d", NumFaultClasses-1, cfg.FaultsPerDevice)
+	case cfg.K <= 0:
+		return fmt.Errorf("data: K must be positive, got %d", cfg.K)
+	case cfg.MeanSamples <= 0 || cfg.StdSamples < 0:
+		return fmt.Errorf("data: invalid node-size moments mean=%v std=%v", cfg.MeanSamples, cfg.StdSamples)
+	case cfg.NoiseStdMin < 0 || cfg.NoiseStdMax < cfg.NoiseStdMin:
+		return fmt.Errorf("data: invalid noise range [%v,%v]", cfg.NoiseStdMin, cfg.NoiseStdMax)
+	case cfg.SourceFraction <= 0 || cfg.SourceFraction >= 1:
+		return fmt.Errorf("data: SourceFraction must be in (0,1), got %v", cfg.SourceFraction)
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func smallFaultConfig() FaultConfig {
+	cfg := DefaultFaultConfig()
+	cfg.Devices = 20
+	return cfg
+}
+
+func TestGenerateFaultShape(t *testing.T) {
+	cfg := smallFaultConfig()
+	fed, err := GenerateFault(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.Dim != FaultWindow {
+		t.Errorf("dim = %d, want %d", fed.Dim, FaultWindow)
+	}
+	if fed.NumClasses != NumFaultClasses {
+		t.Errorf("classes = %d, want %d", fed.NumClasses, NumFaultClasses)
+	}
+	if len(fed.Sources) != 16 || len(fed.Targets) != 4 {
+		t.Errorf("source/target = %d/%d", len(fed.Sources), len(fed.Targets))
+	}
+	for _, n := range fed.Sources {
+		for _, s := range n.All() {
+			if len(s.X) != FaultWindow {
+				t.Fatalf("sample dim %d", len(s.X))
+			}
+			if s.Y < 0 || s.Y >= NumFaultClasses {
+				t.Fatalf("label %d", s.Y)
+			}
+			if !s.X.IsFinite() {
+				t.Fatal("non-finite sensor window")
+			}
+		}
+	}
+}
+
+// Determinism under rng.Split: same seed, bit-identical federation.
+func TestFaultDeterministic(t *testing.T) {
+	cfg := smallFaultConfig()
+	a, err := GenerateFault(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFault(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesA := append(append([]*NodeDataset{}, a.Sources...), a.Targets...)
+	nodesB := append(append([]*NodeDataset{}, b.Sources...), b.Targets...)
+	for i := range nodesA {
+		sa, sb := nodesA[i].All(), nodesB[i].All()
+		if len(sa) != len(sb) {
+			t.Fatalf("node %d sizes differ", i)
+		}
+		for j := range sa {
+			if sa[j].Y != sb[j].Y || sa[j].X.Dist(sb[j].X) != 0 {
+				t.Fatalf("node %d sample %d differs between same-seed runs", i, j)
+			}
+		}
+	}
+	cfg.Seed++
+	c, err := GenerateFault(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sources[0].Train[0].X.Dist(c.Sources[0].Train[0].X) == 0 {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// Label-distribution skew: each device must see exactly FaultsPerDevice+1
+// classes (its fault subset plus normal), and the subsets must differ across
+// devices — no device observes the full taxonomy.
+func TestFaultLabelSkew(t *testing.T) {
+	cfg := smallFaultConfig()
+	cfg.Devices = 30
+	cfg.FaultsPerDevice = 2
+	fed, err := GenerateFault(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := append(append([]*NodeDataset{}, fed.Sources...), fed.Targets...)
+	subsets := map[string]bool{}
+	for i, n := range nodes {
+		labels := map[int]bool{}
+		for _, s := range n.All() {
+			labels[s.Y] = true
+		}
+		if !labels[FaultNormal] {
+			t.Errorf("device %d never observes the normal class", i)
+		}
+		if len(labels) > cfg.FaultsPerDevice+1 {
+			t.Errorf("device %d sees %d classes, want <= %d", i, len(labels), cfg.FaultsPerDevice+1)
+		}
+		key := ""
+		for c := 0; c < NumFaultClasses; c++ {
+			if labels[c] {
+				key += string(rune('0' + c))
+			}
+		}
+		subsets[key] = true
+	}
+	if len(subsets) < 2 {
+		t.Errorf("all %d devices share one class subset — no skew", len(nodes))
+	}
+	// Globally every fault mode should still occur somewhere.
+	global := map[int]bool{}
+	for _, n := range nodes {
+		for _, s := range n.All() {
+			global[s.Y] = true
+		}
+	}
+	if len(global) != NumFaultClasses {
+		t.Errorf("only %d of %d classes appear globally", len(global), NumFaultClasses)
+	}
+}
+
+// Power-law node sizes: floor respected, heterogeneous, heavy upper tail.
+func TestFaultPowerLawShape(t *testing.T) {
+	cfg := smallFaultConfig()
+	cfg.Devices = 60
+	fed, err := GenerateFault(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := append(append([]*NodeDataset{}, fed.Sources...), fed.Targets...)
+	minSize, maxSize, total := math.MaxInt, 0, 0
+	for _, n := range nodes {
+		sz := n.Size()
+		if sz < minSize {
+			minSize = sz
+		}
+		if sz > maxSize {
+			maxSize = sz
+		}
+		total += sz
+	}
+	if floor := cfg.K + cfg.FaultsPerDevice + 2; minSize < floor {
+		t.Errorf("min node size %d below floor %d", minSize, floor)
+	}
+	if maxSize <= minSize {
+		t.Error("degenerate flat partition")
+	}
+	mean := float64(total) / float64(len(nodes))
+	if float64(maxSize) < 1.3*mean {
+		t.Errorf("max node size %d shows no heavy tail over mean %.1f", maxSize, mean)
+	}
+}
+
+// Sensor-noise heterogeneity: per-device noise levels differ, so per-device
+// window variance around the device's own mean signal must spread out.
+func TestFaultNoiseHeterogeneity(t *testing.T) {
+	cfg := smallFaultConfig()
+	cfg.Devices = 24
+	fed, err := GenerateFault(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use normal-class windows only: residual variance there is calibration
+	// noise, not fault signature.
+	var spreads []float64
+	for _, n := range fed.Sources {
+		var vals []float64
+		for _, s := range n.All() {
+			if s.Y != FaultNormal {
+				continue
+			}
+			for _, v := range s.X {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) < 2*FaultWindow {
+			continue
+		}
+		mean := 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		varSum := 0.0
+		for _, v := range vals {
+			varSum += (v - mean) * (v - mean)
+		}
+		spreads = append(spreads, math.Sqrt(varSum/float64(len(vals))))
+	}
+	if len(spreads) < 4 {
+		t.Skip("too few devices with enough normal windows")
+	}
+	lo, hi := spreads[0], spreads[0]
+	for _, s := range spreads {
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if hi <= lo {
+		t.Errorf("identical per-device signal spread %.3f — no heterogeneity", lo)
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	bad := []func(*FaultConfig){
+		func(c *FaultConfig) { c.Devices = 1 },
+		func(c *FaultConfig) { c.FaultsPerDevice = 0 },
+		func(c *FaultConfig) { c.FaultsPerDevice = NumFaultClasses },
+		func(c *FaultConfig) { c.K = 0 },
+		func(c *FaultConfig) { c.MeanSamples = 0 },
+		func(c *FaultConfig) { c.NoiseStdMin = -0.1 },
+		func(c *FaultConfig) { c.NoiseStdMax = 0.01 },
+		func(c *FaultConfig) { c.SourceFraction = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := smallFaultConfig()
+		mutate(&cfg)
+		if _, err := GenerateFault(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

@@ -127,10 +127,16 @@ func TestBuildFederationDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range a.Sources {
-		for j := range a.Sources[i].Train {
-			if a.Sources[i].Train[j].Y != b.Sources[i].Train[j].Y {
-				t.Fatal("partition not deterministic")
+	nodesA := append(append([]*NodeDataset{}, a.Sources...), a.Targets...)
+	nodesB := append(append([]*NodeDataset{}, b.Sources...), b.Targets...)
+	for i := range nodesA {
+		sa, sb := nodesA[i].All(), nodesB[i].All()
+		if len(sa) != len(sb) {
+			t.Fatalf("node %d sizes differ: %d vs %d", i, len(sa), len(sb))
+		}
+		for j := range sa {
+			if sa[j].Y != sb[j].Y || sa[j].X.Dist(sb[j].X) != 0 {
+				t.Fatalf("node %d sample %d not bit-identical across same-seed partitions", i, j)
 			}
 		}
 	}

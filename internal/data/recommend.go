@@ -1,0 +1,230 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// Federated recommendation workload (Chen et al.'s FedMeta-for-recommendation
+// framing): each node is one user, each sample is one user-item interaction,
+// and fast adaptation IS the product — a few locally observed ratings must
+// personalize the shared model to the user's taste.
+//
+// Generative model. A catalog of Items carries latent embeddings
+// q_j ~ N(0, I/√d); item popularity is a power law (Zipf with exponent
+// PopularityExponent), so every user's interaction log concentrates on the
+// same popular head while the tail differs per user. User i scores item j as
+//
+//	score_ij = (w* + p_i) · q_j + ε,   ε ~ N(0, NoiseStd²)
+//
+// where w* is a SHARED quality direction (some items are broadly liked —
+// the structure a global model can learn) and p_i ~ N(0, TasteStd²·I) is the
+// user's PRIVATE taste (the structure only per-user adaptation can express).
+// Ratings are the score bucketed into Levels classes at the user's own
+// empirical quantiles — users calibrate their own star scale — so every
+// node's label distribution is balanced by construction. The observed
+// feature vector of a sample is the item embedding q_j itself
+// (embedding-style features; Dim = LatentDim), and the metric downstream is
+// post-adaptation rating accuracy on the user's held-out interactions.
+//
+// With TasteStd ≳ 1 the private component dominates: a single global model
+// tops out near the accuracy w* alone affords, while one or two gradient
+// steps on the user's K observed ratings recover p_i's direction — the
+// personalized-vs-global gap the ext-rec comparison matrix measures.
+
+// RecommendConfig parameterizes the federated recommendation generator.
+type RecommendConfig struct {
+	// Users is the number of nodes (one node per user).
+	Users int
+	// Items is the catalog size.
+	Items int
+	// LatentDim is the item-embedding width; the observed feature dimension.
+	LatentDim int
+	// Levels is the rating granularity (2 = like/dislike, up to 5 stars).
+	Levels int
+	// TasteStd scales the private per-user preference p_i against the
+	// shared quality direction w* (entrywise std 1). Larger values make
+	// personalization matter more.
+	TasteStd float64
+	// NoiseStd is the rating-noise level ε.
+	NoiseStd float64
+	// PopularityExponent is the Zipf exponent of item popularity (0 = uniform).
+	PopularityExponent float64
+	// K is the training-split size |D_i^train| (the observed ratings
+	// adaptation may use).
+	K int
+	// MeanSamples/StdSamples parameterize the power-law per-user
+	// interaction counts.
+	MeanSamples, StdSamples float64
+	// SourceFraction is the fraction of meta-training users.
+	SourceFraction float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultRecommendConfig returns the reference configuration: 80 users over
+// a 200-item catalog, 16-d embeddings, binary like/dislike ratings.
+func DefaultRecommendConfig() RecommendConfig {
+	return RecommendConfig{
+		Users:              80,
+		Items:              200,
+		LatentDim:          16,
+		Levels:             2,
+		TasteStd:           1.5,
+		NoiseStd:           0.1,
+		PopularityExponent: 1.0,
+		K:                  5,
+		MeanSamples:        30,
+		StdSamples:         15,
+		SourceFraction:     0.8,
+		Seed:               11,
+	}
+}
+
+// GenerateRecommend builds the federated recommendation Federation.
+func GenerateRecommend(cfg RecommendConfig) (*Federation, error) {
+	if err := validateRecommend(cfg); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	sizes := PowerLawSizes(root.Split(0), cfg.Users, cfg.MeanSamples, cfg.StdSamples, cfg.K+cfg.Levels+1)
+
+	// Shared catalog: item embeddings and the Zipf popularity CDF, drawn
+	// once so every user rates the same items.
+	catRng := root.Split(1)
+	scale := 1 / math.Sqrt(float64(cfg.LatentDim))
+	items := make([]tensor.Vec, cfg.Items)
+	for j := range items {
+		q := tensor.NewVec(cfg.LatentDim)
+		for d := range q {
+			q[d] = catRng.Norm() * scale
+		}
+		items[j] = q
+	}
+	popCDF := zipfCDF(cfg.Items, cfg.PopularityExponent)
+
+	// Shared quality direction w*: the cross-user structure a global model
+	// (and a meta-initialization) can learn.
+	wStar := tensor.NewVec(cfg.LatentDim)
+	for d := range wStar {
+		wStar[d] = catRng.Norm()
+	}
+
+	fed := &Federation{
+		Name:       "Recommend",
+		Dim:        cfg.LatentDim,
+		NumClasses: cfg.Levels,
+	}
+	numSources := int(math.Round(cfg.SourceFraction * float64(cfg.Users)))
+	if numSources <= 0 || numSources >= cfg.Users {
+		return nil, fmt.Errorf("data: SourceFraction %v leaves no sources or no targets among %d users", cfg.SourceFraction, cfg.Users)
+	}
+
+	pref := tensor.NewVec(cfg.LatentDim)
+	for i := 0; i < cfg.Users; i++ {
+		userRng := root.Split(uint64(i) + 2)
+		// User preference: shared quality plus private taste.
+		for d := range pref {
+			pref[d] = wStar[d] + userRng.NormMeanStd(0, cfg.TasteStd)
+		}
+		n := sizes[i]
+		scores := make([]float64, n)
+		feats := make([]tensor.Vec, n)
+		for s := 0; s < n; s++ {
+			j := sampleCDF(popCDF, userRng.Float64())
+			feats[s] = items[j]
+			scores[s] = pref.Dot(items[j]) + userRng.NormMeanStd(0, cfg.NoiseStd)
+		}
+		labels := bucketByQuantile(scores, cfg.Levels)
+		samples := make([]Sample, n)
+		for s := range samples {
+			// Samples share the catalog's embedding rows; SplitNode and all
+			// consumers treat Sample.X as read-only.
+			samples[s] = Sample{X: feats[s], Y: labels[s]}
+		}
+		nd, err := SplitNode(userRng, samples, cfg.K)
+		if err != nil {
+			return nil, fmt.Errorf("split user %d: %w", i, err)
+		}
+		if i < numSources {
+			fed.Sources = append(fed.Sources, nd)
+		} else {
+			fed.Targets = append(fed.Targets, nd)
+		}
+	}
+	return fed, nil
+}
+
+// zipfCDF returns the cumulative popularity distribution P(item ≤ j) with
+// P(j) ∝ (j+1)^-s.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	total := 0.0
+	for j := 0; j < n; j++ {
+		total += math.Pow(float64(j+1), -s)
+		cdf[j] = total
+	}
+	for j := range cdf {
+		cdf[j] /= total
+	}
+	return cdf
+}
+
+// sampleCDF returns the first index whose cumulative mass covers u ∈ [0, 1).
+func sampleCDF(cdf []float64, u float64) int {
+	i := sort.SearchFloat64s(cdf, u)
+	if i >= len(cdf) {
+		i = len(cdf) - 1
+	}
+	return i
+}
+
+// bucketByQuantile assigns each score its rating class by the empirical
+// quantiles of the user's own scores: the lowest 1/levels fraction is class
+// 0, the next is class 1, and so on — per-user calibrated star scales with
+// balanced labels by construction.
+func bucketByQuantile(scores []float64, levels int) []int {
+	n := len(scores)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	labels := make([]int, n)
+	for rank, idx := range order {
+		c := rank * levels / n
+		if c >= levels {
+			c = levels - 1
+		}
+		labels[idx] = c
+	}
+	return labels
+}
+
+func validateRecommend(cfg RecommendConfig) error {
+	switch {
+	case cfg.Users < 2:
+		return fmt.Errorf("data: need at least 2 users, got %d", cfg.Users)
+	case cfg.Items < 2:
+		return fmt.Errorf("data: need at least 2 items, got %d", cfg.Items)
+	case cfg.LatentDim <= 0:
+		return fmt.Errorf("data: LatentDim must be positive, got %d", cfg.LatentDim)
+	case cfg.Levels < 2 || cfg.Levels > 5:
+		return fmt.Errorf("data: Levels must be in [2,5], got %d", cfg.Levels)
+	case cfg.TasteStd < 0 || cfg.NoiseStd < 0:
+		return fmt.Errorf("data: negative taste/noise std %v/%v", cfg.TasteStd, cfg.NoiseStd)
+	case cfg.PopularityExponent < 0:
+		return fmt.Errorf("data: negative popularity exponent %v", cfg.PopularityExponent)
+	case cfg.K <= 0:
+		return fmt.Errorf("data: K must be positive, got %d", cfg.K)
+	case cfg.MeanSamples <= 0 || cfg.StdSamples < 0:
+		return fmt.Errorf("data: invalid node-size moments mean=%v std=%v", cfg.MeanSamples, cfg.StdSamples)
+	case cfg.SourceFraction <= 0 || cfg.SourceFraction >= 1:
+		return fmt.Errorf("data: SourceFraction must be in (0,1), got %v", cfg.SourceFraction)
+	}
+	return nil
+}

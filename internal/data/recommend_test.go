@@ -1,0 +1,207 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func smallRecommendConfig() RecommendConfig {
+	cfg := DefaultRecommendConfig()
+	cfg.Users = 20
+	cfg.Items = 60
+	cfg.LatentDim = 8
+	return cfg
+}
+
+func TestGenerateRecommendShape(t *testing.T) {
+	cfg := smallRecommendConfig()
+	fed, err := GenerateRecommend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.Dim != cfg.LatentDim {
+		t.Errorf("dim = %d, want %d", fed.Dim, cfg.LatentDim)
+	}
+	if fed.NumClasses != cfg.Levels {
+		t.Errorf("classes = %d, want %d", fed.NumClasses, cfg.Levels)
+	}
+	if len(fed.Sources) != 16 || len(fed.Targets) != 4 {
+		t.Errorf("source/target = %d/%d", len(fed.Sources), len(fed.Targets))
+	}
+	for _, n := range fed.Sources {
+		if len(n.Train) != cfg.K {
+			t.Fatalf("train split %d, want %d", len(n.Train), cfg.K)
+		}
+		for _, s := range n.All() {
+			if len(s.X) != fed.Dim {
+				t.Fatalf("sample dim %d", len(s.X))
+			}
+			if s.Y < 0 || s.Y >= cfg.Levels {
+				t.Fatalf("label %d out of [0,%d)", s.Y, cfg.Levels)
+			}
+		}
+	}
+}
+
+// Determinism under rng.Split: the same seed must reproduce the federation
+// bit-identically, including every feature value and label.
+func TestRecommendDeterministic(t *testing.T) {
+	cfg := smallRecommendConfig()
+	a, err := GenerateRecommend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRecommend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesA := append(append([]*NodeDataset{}, a.Sources...), a.Targets...)
+	nodesB := append(append([]*NodeDataset{}, b.Sources...), b.Targets...)
+	for i := range nodesA {
+		sa, sb := nodesA[i].All(), nodesB[i].All()
+		if len(sa) != len(sb) {
+			t.Fatalf("node %d sizes differ: %d vs %d", i, len(sa), len(sb))
+		}
+		for j := range sa {
+			if sa[j].Y != sb[j].Y || sa[j].X.Dist(sb[j].X) != 0 {
+				t.Fatalf("node %d sample %d differs between same-seed runs", i, j)
+			}
+		}
+	}
+	cfg.Seed++
+	c, err := GenerateRecommend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sources[0].Train[0].X.Dist(c.Sources[0].Train[0].X) == 0 &&
+		a.Sources[0].Train[0].Y == c.Sources[0].Train[0].Y &&
+		a.Sources[0].Size() == c.Sources[0].Size() {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// Power-law partition shape: node sizes must be heterogeneous (not a flat
+// split), respect the generator's floor, and average near MeanSamples.
+func TestRecommendPowerLawShape(t *testing.T) {
+	cfg := smallRecommendConfig()
+	cfg.Users = 60
+	fed, err := GenerateRecommend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := append(append([]*NodeDataset{}, fed.Sources...), fed.Targets...)
+	minSize, maxSize, total := math.MaxInt, 0, 0
+	for _, n := range nodes {
+		sz := n.Size()
+		if sz < minSize {
+			minSize = sz
+		}
+		if sz > maxSize {
+			maxSize = sz
+		}
+		total += sz
+	}
+	if floor := cfg.K + cfg.Levels + 1; minSize < floor {
+		t.Errorf("min node size %d below floor %d", minSize, floor)
+	}
+	if maxSize <= minSize {
+		t.Errorf("degenerate partition: all nodes size %d", minSize)
+	}
+	mean := float64(total) / float64(len(nodes))
+	if mean < cfg.MeanSamples/2 || mean > cfg.MeanSamples*2 {
+		t.Errorf("mean node size %.1f far from configured %v", mean, cfg.MeanSamples)
+	}
+	// Power-law skew: the largest node should be well above the mean.
+	if float64(maxSize) < 1.3*mean {
+		t.Errorf("max node size %d shows no heavy tail over mean %.1f", maxSize, mean)
+	}
+}
+
+// Every user's labels are balanced by construction (per-user quantile
+// bucketing), so each rating level must appear on each node.
+func TestRecommendPerUserLabelBalance(t *testing.T) {
+	cfg := smallRecommendConfig()
+	cfg.Levels = 3
+	fed, err := GenerateRecommend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range fed.Sources {
+		counts := map[int]int{}
+		for _, s := range n.All() {
+			counts[s.Y]++
+		}
+		for c := 0; c < cfg.Levels; c++ {
+			if counts[c] == 0 {
+				t.Errorf("user %d missing rating level %d: %v", i, c, counts)
+			}
+		}
+	}
+}
+
+// Zipf popularity: the most popular catalog head must account for a
+// disproportionate share of interactions across all users.
+func TestRecommendPopularitySkew(t *testing.T) {
+	cfg := smallRecommendConfig()
+	cfg.Users = 40
+	fed, err := GenerateRecommend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Items are identified by their (shared) embedding vectors; count
+	// distinct feature rows.
+	seen := map[string]int{}
+	keyOf := func(x []float64) string {
+		buf := make([]byte, 0, len(x)*8)
+		for _, v := range x {
+			bits := math.Float64bits(v)
+			for b := 0; b < 8; b++ {
+				buf = append(buf, byte(bits>>(8*b)))
+			}
+		}
+		return string(buf)
+	}
+	total := 0
+	for _, n := range fed.Sources {
+		for _, s := range n.All() {
+			seen[keyOf(s.X)]++
+			total++
+		}
+	}
+	if len(seen) < 2 || len(seen) > cfg.Items {
+		t.Fatalf("distinct items %d outside (1, %d]", len(seen), cfg.Items)
+	}
+	top := 0
+	for _, c := range seen {
+		if c > top {
+			top = c
+		}
+	}
+	uniform := float64(total) / float64(cfg.Items)
+	if float64(top) < 3*uniform {
+		t.Errorf("top item count %d shows no popularity skew (uniform share %.1f)", top, uniform)
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	bad := []func(*RecommendConfig){
+		func(c *RecommendConfig) { c.Users = 1 },
+		func(c *RecommendConfig) { c.Items = 1 },
+		func(c *RecommendConfig) { c.LatentDim = 0 },
+		func(c *RecommendConfig) { c.Levels = 1 },
+		func(c *RecommendConfig) { c.Levels = 6 },
+		func(c *RecommendConfig) { c.TasteStd = -1 },
+		func(c *RecommendConfig) { c.NoiseStd = -0.1 },
+		func(c *RecommendConfig) { c.PopularityExponent = -0.5 },
+		func(c *RecommendConfig) { c.K = 0 },
+		func(c *RecommendConfig) { c.MeanSamples = 0 },
+		func(c *RecommendConfig) { c.SourceFraction = 1 },
+	}
+	for i, mutate := range bad {
+		cfg := smallRecommendConfig()
+		mutate(&cfg)
+		if _, err := GenerateRecommend(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+// Personalization is the personalized-vs-global evaluation split on a set of
+// held-out target nodes: how well one shared model θ does as-is, versus
+// after each node fine-tunes it on its own K-shot training split. The gap
+// between the two numbers is what the new-workloads comparison matrices
+// report per algorithm (Fed-Meta-Align style).
+type Personalization struct {
+	// Global is the mean test accuracy of θ applied unchanged.
+	Global float64
+	// Adapted is the mean test accuracy after Steps local gradient steps
+	// at rate alpha on each node's training split.
+	Adapted float64
+	// Steps is the adaptation budget Adapted was measured at.
+	Steps int
+}
+
+// Gap returns Adapted − Global: positive when per-node structure exists
+// that local adaptation recovers.
+func (p Personalization) Gap() float64 { return p.Adapted - p.Global }
+
+// String renders the split compactly for reports.
+func (p Personalization) String() string {
+	return fmt.Sprintf("global %.3f → adapted(%d) %.3f (gap %+.3f)", p.Global, p.Steps, p.Adapted, p.Gap())
+}
+
+// PersonalizationN measures the personalized-vs-global split of theta over
+// the target nodes with `workers` parallelism. Both numbers come from one
+// adaptation sweep: the curve's entry 0 is the un-adapted (global) accuracy
+// and its final entry the adapted accuracy after `steps` steps.
+func PersonalizationN(m nn.Model, theta tensor.Vec, targets []*data.NodeDataset, alpha float64, steps, workers int) Personalization {
+	curve := AverageAdaptationCurveN(m, theta, targets, alpha, steps, workers)
+	if len(curve) == 0 {
+		return Personalization{Steps: steps}
+	}
+	return Personalization{
+		Global:  curve[0].Accuracy,
+		Adapted: curve[len(curve)-1].Accuracy,
+		Steps:   curve[len(curve)-1].Step,
+	}
+}

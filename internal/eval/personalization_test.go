@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/rng"
+)
+
+func TestPersonalizationNMatchesAdaptationCurve(t *testing.T) {
+	cfg := data.DefaultSyntheticConfig(0.5, 0.5)
+	cfg.Nodes = 10
+	cfg.Dim = 8
+	cfg.Classes = 3
+	cfg.MeanSamples = 20
+	cfg.Seed = 4
+	fed, err := data.GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	theta := m.InitParams(rng.New(1))
+	const alpha, steps = 0.05, 3
+	p := PersonalizationN(m, theta, fed.Targets, alpha, steps, 2)
+	curve := AverageAdaptationCurveN(m, theta, fed.Targets, alpha, steps, 1)
+	if math.Abs(p.Global-curve[0].Accuracy) > 1e-12 {
+		t.Errorf("Global = %v, curve[0] = %v", p.Global, curve[0].Accuracy)
+	}
+	if math.Abs(p.Adapted-curve[len(curve)-1].Accuracy) > 1e-12 {
+		t.Errorf("Adapted = %v, curve end = %v", p.Adapted, curve[len(curve)-1].Accuracy)
+	}
+	if p.Steps != curve[len(curve)-1].Step {
+		t.Errorf("Steps = %d, want %d", p.Steps, curve[len(curve)-1].Step)
+	}
+	if got := p.Gap(); math.Abs(got-(p.Adapted-p.Global)) > 1e-15 {
+		t.Errorf("Gap() = %v", got)
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestPersonalizationNEmptyTargets(t *testing.T) {
+	m := &nn.SoftmaxRegression{In: 4, Classes: 2}
+	p := PersonalizationN(m, m.InitParams(rng.New(1)), nil, 0.1, 2, 1)
+	if p.Global != 0 || p.Adapted != 0 || p.Steps != 2 {
+		t.Errorf("empty targets gave %+v", p)
+	}
+}

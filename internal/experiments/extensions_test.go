@@ -222,7 +222,7 @@ func TestExtensionExperimentsRegistered(t *testing.T) {
 	for _, e := range All() {
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"thm3", "ext-time", "ext-baselines", "ext-energy"} {
+	for _, want := range []string{"thm3", "ext-time", "ext-baselines", "ext-energy", "ext-rec", "ext-fault"} {
 		if !ids[want] {
 			t.Errorf("registry missing %s", want)
 		}

@@ -174,6 +174,24 @@ func All() []Experiment {
 			},
 		},
 		{
+			ID:          "ext-rec",
+			Description: "Extension: federated recommendation — personalized vs global baselines (FedML/FedAvg/FedProx/RepShare)",
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultExtWorkloadConfig("rec", s)
+				cfg.Workers = workers
+				return RunExtWorkload(cfg)
+			},
+		},
+		{
+			ID:          "ext-fault",
+			Description: "Extension: TinyML fault classification — personalized vs global baselines under class skew",
+			Run: func(s Scale, workers int) (Renderable, error) {
+				cfg := DefaultExtWorkloadConfig("fault", s)
+				cfg.Workers = workers
+				return RunExtWorkload(cfg)
+			},
+		},
+		{
 			ID:          "ext-meta-opt",
 			Description: "Extension: outer-optimizer ablation (SGD vs momentum vs Adam)",
 			Run: func(s Scale, workers int) (Renderable, error) {

@@ -1,0 +1,95 @@
+package fedprox
+
+import (
+	"testing"
+
+	"github.com/edgeai/fedml/internal/data"
+	"github.com/edgeai/fedml/internal/fedavg"
+	"github.com/edgeai/fedml/internal/nn"
+	"github.com/edgeai/fedml/internal/obs"
+	"github.com/edgeai/fedml/internal/rng"
+	"github.com/edgeai/fedml/internal/tensor"
+)
+
+func tinyFederation(t *testing.T) *data.Federation {
+	t.Helper()
+	cfg := data.DefaultSyntheticConfig(0, 0)
+	cfg.Nodes = 10
+	cfg.Dim = 10
+	cfg.Classes = 4
+	cfg.MeanSamples = 20
+	cfg.Seed = 11
+	fed, err := data.GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func TestTrainRequiresPositiveMu(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	for _, mu := range []float64{0, -1} {
+		if _, err := Train(m, fed, nil, Config{Eta: 0.05, Mu: mu, T: 10, T0: 5}); err == nil {
+			t.Errorf("μ=%v accepted", mu)
+		}
+	}
+}
+
+// FedProx must be exactly fedavg with the proximal coefficient threaded
+// through — same seed, same trajectory, bit-identical final model.
+func TestTrainMatchesFedavgWithProxMu(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	theta0 := m.InitParams(rng.New(3))
+	prox, err := Train(m, fed, theta0, Config{Eta: 0.05, Mu: 0.5, T: 30, T0: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fedavg.Train(m, fed, theta0, fedavg.Config{Eta: 0.05, ProxMu: 0.5, T: 30, T0: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prox.Theta.Dist(ref.Theta) != 0 {
+		t.Error("fedprox.Train diverged from fedavg.Train with ProxMu set")
+	}
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	theta0 := m.InitParams(rng.New(7))
+	lossOf := func(theta []float64) float64 {
+		w := fed.Weights()
+		var total float64
+		for i, nd := range fed.Sources {
+			total += w[i] * m.Loss(theta, nd.All())
+		}
+		return total
+	}
+	res, err := Train(m, fed, theta0, Config{Eta: 0.05, Mu: 0.1, T: 100, T0: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after, before := lossOf(res.Theta), lossOf(theta0); after >= before {
+		t.Errorf("FedProx did not reduce the global loss: %v -> %v", before, after)
+	}
+}
+
+func TestTrainObserverAndOnRound(t *testing.T) {
+	fed := tinyFederation(t)
+	m := &nn.SoftmaxRegression{In: fed.Dim, Classes: fed.NumClasses}
+	rec := obs.NewRecorder()
+	var iters []int
+	cfg := Config{Eta: 0.05, Mu: 0.5, T: 20, T0: 5, Observer: rec,
+		OnRound: func(round, iter int, _ tensor.Vec) { iters = append(iters, iter) }}
+	if _, err := Train(m, fed, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Rounds()) != 4 {
+		t.Errorf("round records = %d, want 4", len(rec.Rounds()))
+	}
+	if len(iters) != 4 || iters[3] != 20 {
+		t.Errorf("OnRound iters = %v", iters)
+	}
+}
